@@ -1,0 +1,211 @@
+//! Confusion matrices and per-class quality metrics.
+//!
+//! [`score`](crate::quality::score) reports pooled accuracy/coverage; this
+//! module adds the per-class view — a confusion matrix over `(gold,
+//! estimated)` pairs with precision/recall/F1 per class and macro
+//! averages — used when aggregation quality differs across classes (e.g.
+//! an adversary pushing everything toward class 0 hurts class-0 precision
+//! specifically).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `n_classes × n_classes` confusion matrix; rows are gold
+/// classes, columns are estimated classes. Abstentions are counted
+/// separately.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    /// counts[gold][estimated]
+    counts: Vec<Vec<u64>>,
+    abstained: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from estimates and gold labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices have different lengths or a label is out of
+    /// `0..n_classes`.
+    #[must_use]
+    pub fn from_estimates(estimates: &[Option<usize>], gold: &[usize], n_classes: usize) -> Self {
+        assert_eq!(estimates.len(), gold.len(), "estimates and gold must align");
+        let mut counts = vec![vec![0u64; n_classes]; n_classes];
+        let mut abstained = 0;
+        for (est, &g) in estimates.iter().zip(gold) {
+            assert!(g < n_classes, "gold label out of range");
+            match est {
+                Some(e) => {
+                    assert!(*e < n_classes, "estimated label out of range");
+                    counts[g][*e] += 1;
+                }
+                None => abstained += 1,
+            }
+        }
+        ConfusionMatrix {
+            n_classes,
+            counts,
+            abstained,
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count of `(gold, estimated)` pairs.
+    #[must_use]
+    pub fn count(&self, gold: usize, estimated: usize) -> u64 {
+        self.counts
+            .get(gold)
+            .and_then(|row| row.get(estimated))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Tasks with no estimate.
+    #[must_use]
+    pub fn abstained(&self) -> u64 {
+        self.abstained
+    }
+
+    /// Total answered tasks.
+    #[must_use]
+    pub fn answered(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Precision of one class: `TP / (TP + FP)`; `None` when the class was
+    /// never predicted.
+    #[must_use]
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let tp = self.count(class, class);
+        let predicted: u64 = (0..self.n_classes).map(|g| self.count(g, class)).sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall of one class: `TP / (TP + FN)`; `None` when the class never
+    /// occurs in gold (among answered tasks).
+    #[must_use]
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let tp = self.count(class, class);
+        let actual: u64 = (0..self.n_classes).map(|e| self.count(class, e)).sum();
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// F1 of one class; `None` when precision and recall are both
+    /// undefined or sum to zero.
+    #[must_use]
+    pub fn f1(&self, class: usize) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            None
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+
+    /// Macro-averaged F1 over classes where F1 is defined (0 when none).
+    #[must_use]
+    pub fn macro_f1(&self) -> f64 {
+        let f1s: Vec<f64> = (0..self.n_classes).filter_map(|c| self.f1(c)).collect();
+        if f1s.is_empty() {
+            0.0
+        } else {
+            f1s.iter().sum::<f64>() / f1s.len() as f64
+        }
+    }
+
+    /// Pooled accuracy over answered tasks (0 when nothing answered).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let answered = self.answered();
+        if answered == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n_classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / answered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> ConfusionMatrix {
+        // gold:      0  0  0  1  1  2  2  2
+        // estimate:  0  0  1  1  0  2  2  -
+        ConfusionMatrix::from_estimates(
+            &[
+                Some(0),
+                Some(0),
+                Some(1),
+                Some(1),
+                Some(0),
+                Some(2),
+                Some(2),
+                None,
+            ],
+            &[0, 0, 0, 1, 1, 2, 2, 2],
+            3,
+        )
+    }
+
+    #[test]
+    fn counts_and_abstentions() {
+        let m = matrix();
+        assert_eq!(m.count(0, 0), 2);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 0), 1);
+        assert_eq!(m.count(2, 2), 2);
+        assert_eq!(m.abstained(), 1);
+        assert_eq!(m.answered(), 7);
+        assert_eq!(m.n_classes(), 3);
+        assert_eq!(m.count(9, 9), 0);
+    }
+
+    #[test]
+    fn per_class_metrics() {
+        let m = matrix();
+        // Class 0: predicted 3 times, 2 correct; occurs 3 times, 2 found.
+        assert!((m.precision(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // Class 2: precision 1.0, recall 2/2 among answered.
+        assert_eq!(m.precision(2), Some(1.0));
+        assert_eq!(m.recall(2), Some(1.0));
+    }
+
+    #[test]
+    fn undefined_metrics_are_none() {
+        let m = ConfusionMatrix::from_estimates(&[Some(0)], &[0], 2);
+        assert_eq!(m.precision(1), None, "class 1 never predicted");
+        assert_eq!(m.recall(1), None, "class 1 never in gold");
+        assert_eq!(m.f1(1), None);
+    }
+
+    #[test]
+    fn aggregates() {
+        let m = matrix();
+        assert!((m.accuracy() - 5.0 / 7.0).abs() < 1e-12);
+        assert!(m.macro_f1() > 0.6 && m.macro_f1() <= 1.0);
+        let empty = ConfusionMatrix::from_estimates(&[None], &[0], 2);
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.macro_f1(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = ConfusionMatrix::from_estimates(&[Some(0)], &[0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_gold_panics() {
+        let _ = ConfusionMatrix::from_estimates(&[Some(0)], &[5], 2);
+    }
+}

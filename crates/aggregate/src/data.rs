@@ -1,0 +1,190 @@
+//! The redundant label matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// One worker's label for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Task index in `0..n_tasks`.
+    pub task: usize,
+    /// Worker index in `0..n_workers`.
+    pub worker: usize,
+    /// Class index in `0..n_classes`.
+    pub class: usize,
+}
+
+/// A sparse task × worker label matrix over categorical classes.
+///
+/// # Examples
+///
+/// ```
+/// use hc_aggregate::{Assignment, LabelMatrix};
+///
+/// let mut m = LabelMatrix::new(2, 3);
+/// m.push(Assignment { task: 0, worker: 0, class: 1 });
+/// m.push(Assignment { task: 0, worker: 1, class: 1 });
+/// m.push(Assignment { task: 1, worker: 0, class: 2 });
+/// assert_eq!(m.n_tasks(), 2);
+/// assert_eq!(m.labels_for(0).len(), 2);
+/// assert_eq!(m.class_counts(0), vec![0, 2, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelMatrix {
+    n_tasks: usize,
+    n_classes: usize,
+    n_workers: usize,
+    /// Per-task assignment lists (task-major for aggregation passes).
+    by_task: Vec<Vec<Assignment>>,
+    total: usize,
+}
+
+impl LabelMatrix {
+    /// Creates an empty matrix over `n_tasks` tasks and `n_classes`
+    /// classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero (setup error).
+    #[must_use]
+    pub fn new(n_tasks: usize, n_classes: usize) -> Self {
+        assert!(n_tasks > 0, "need at least one task");
+        assert!(n_classes > 0, "need at least one class");
+        LabelMatrix {
+            n_tasks,
+            n_classes,
+            n_workers: 0,
+            by_task: vec![Vec::new(); n_tasks],
+            total: 0,
+        }
+    }
+
+    /// Adds one assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range task or class indices.
+    pub fn push(&mut self, a: Assignment) {
+        assert!(a.task < self.n_tasks, "task index out of range");
+        assert!(a.class < self.n_classes, "class index out of range");
+        self.n_workers = self.n_workers.max(a.worker + 1);
+        self.by_task[a.task].push(a);
+        self.total += 1;
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of distinct workers seen (max index + 1).
+    #[must_use]
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Total assignments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` when no assignments exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Assignments for one task.
+    #[must_use]
+    pub fn labels_for(&self, task: usize) -> &[Assignment] {
+        &self.by_task[task]
+    }
+
+    /// Per-class vote counts for one task.
+    #[must_use]
+    pub fn class_counts(&self, task: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for a in &self.by_task[task] {
+            counts[a.class] += 1;
+        }
+        counts
+    }
+
+    /// Iterates over all assignments, task-major.
+    pub fn iter(&self) -> impl Iterator<Item = &Assignment> {
+        self.by_task.iter().flatten()
+    }
+
+    /// Mean labels per task (the redundancy factor).
+    #[must_use]
+    pub fn redundancy(&self) -> f64 {
+        self.total as f64 / self.n_tasks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_redundancy() {
+        let mut m = LabelMatrix::new(2, 2);
+        m.push(Assignment {
+            task: 0,
+            worker: 0,
+            class: 0,
+        });
+        m.push(Assignment {
+            task: 0,
+            worker: 1,
+            class: 1,
+        });
+        m.push(Assignment {
+            task: 1,
+            worker: 2,
+            class: 1,
+        });
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.n_workers(), 3);
+        assert_eq!(m.class_counts(0), vec![1, 1]);
+        assert_eq!(m.class_counts(1), vec![0, 1]);
+        assert!((m.redundancy() - 1.5).abs() < 1e-12);
+        assert_eq!(m.iter().count(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "task index")]
+    fn out_of_range_task_panics() {
+        let mut m = LabelMatrix::new(1, 2);
+        m.push(Assignment {
+            task: 1,
+            worker: 0,
+            class: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "class index")]
+    fn out_of_range_class_panics() {
+        let mut m = LabelMatrix::new(1, 2);
+        m.push(Assignment {
+            task: 0,
+            worker: 0,
+            class: 2,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        let _ = LabelMatrix::new(0, 2);
+    }
+}

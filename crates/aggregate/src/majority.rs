@@ -1,0 +1,67 @@
+//! Plurality (majority) voting.
+
+use crate::data::LabelMatrix;
+use crate::Aggregator;
+
+/// Plurality vote: each task gets its most-voted class; ties break to the
+/// lowest class index (deterministic); unlabeled tasks abstain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MajorityVote;
+
+impl Aggregator for MajorityVote {
+    fn aggregate(&self, matrix: &LabelMatrix) -> Vec<Option<usize>> {
+        (0..matrix.n_tasks())
+            .map(|t| {
+                let counts = matrix.class_counts(t);
+                let best = counts.iter().copied().max().unwrap_or(0);
+                if best == 0 {
+                    None
+                } else {
+                    counts.iter().position(|&c| c == best)
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "majority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Assignment;
+
+    fn push(m: &mut LabelMatrix, task: usize, worker: usize, class: usize) {
+        m.push(Assignment {
+            task,
+            worker,
+            class,
+        });
+    }
+
+    #[test]
+    fn plurality_wins() {
+        let mut m = LabelMatrix::new(1, 3);
+        push(&mut m, 0, 0, 2);
+        push(&mut m, 0, 1, 2);
+        push(&mut m, 0, 2, 1);
+        assert_eq!(MajorityVote.aggregate(&m), vec![Some(2)]);
+    }
+
+    #[test]
+    fn ties_break_to_lowest_class() {
+        let mut m = LabelMatrix::new(1, 3);
+        push(&mut m, 0, 0, 2);
+        push(&mut m, 0, 1, 0);
+        assert_eq!(MajorityVote.aggregate(&m), vec![Some(0)]);
+    }
+
+    #[test]
+    fn unlabeled_tasks_abstain() {
+        let m = LabelMatrix::new(2, 2);
+        assert_eq!(MajorityVote.aggregate(&m), vec![None, None]);
+        assert_eq!(MajorityVote.name(), "majority");
+    }
+}

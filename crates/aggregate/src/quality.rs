@@ -1,0 +1,117 @@
+//! Quality scoring against gold labels.
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy/coverage report for one aggregation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Fraction of *answered* tasks whose estimate matches gold.
+    pub accuracy: f64,
+    /// Fraction of tasks that received any estimate.
+    pub coverage: f64,
+    /// Accuracy × coverage — fraction of all tasks answered correctly.
+    pub yield_rate: f64,
+    /// Tasks answered.
+    pub answered: usize,
+    /// Tasks answered correctly.
+    pub correct: usize,
+    /// Total tasks.
+    pub total: usize,
+}
+
+impl std::fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc={:.3} cov={:.3} yield={:.3} ({}/{} answered)",
+            self.accuracy, self.coverage, self.yield_rate, self.answered, self.total
+        )
+    }
+}
+
+/// Scores estimates against gold labels.
+///
+/// # Panics
+///
+/// Panics when the two slices have different lengths (harness error).
+///
+/// # Examples
+///
+/// ```
+/// use hc_aggregate::score;
+/// let estimates = vec![Some(0), Some(1), None, Some(2)];
+/// let gold = vec![0, 0, 1, 2];
+/// let q = score(&estimates, &gold);
+/// assert_eq!(q.answered, 3);
+/// assert_eq!(q.correct, 2);
+/// assert!((q.accuracy - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((q.coverage - 0.75).abs() < 1e-12);
+/// assert!((q.yield_rate - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn score(estimates: &[Option<usize>], gold: &[usize]) -> QualityReport {
+    assert_eq!(estimates.len(), gold.len(), "estimates and gold must align");
+    let total = gold.len();
+    let mut answered = 0;
+    let mut correct = 0;
+    for (est, &g) in estimates.iter().zip(gold) {
+        if let Some(e) = est {
+            answered += 1;
+            if *e == g {
+                correct += 1;
+            }
+        }
+    }
+    let accuracy = if answered == 0 {
+        0.0
+    } else {
+        correct as f64 / answered as f64
+    };
+    let coverage = if total == 0 {
+        0.0
+    } else {
+        answered as f64 / total as f64
+    };
+    QualityReport {
+        accuracy,
+        coverage,
+        yield_rate: accuracy * coverage,
+        answered,
+        correct,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_empty_cases() {
+        let q = score(&[Some(1), Some(0)], &[1, 0]);
+        assert_eq!(q.accuracy, 1.0);
+        assert_eq!(q.coverage, 1.0);
+        assert_eq!(q.yield_rate, 1.0);
+
+        let q = score(&[None, None], &[0, 1]);
+        assert_eq!(q.accuracy, 0.0);
+        assert_eq!(q.coverage, 0.0);
+        assert_eq!(q.answered, 0);
+
+        let q = score(&[], &[]);
+        assert_eq!(q.total, 0);
+        assert_eq!(q.coverage, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = score(&[Some(0)], &[0, 1]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let q = score(&[Some(0)], &[0]);
+        assert!(q.to_string().contains("acc=1.000"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Synthetic redundant-labeling workloads.
+//!
+//! Experiment T2 needs label matrices with *known* gold labels and a
+//! controllable worker quality mix. [`SyntheticCrowd`] generates them:
+//! good workers answer correctly with probability `accuracy` (uniform
+//! error otherwise); adversarial workers always answer class 0 (the
+//! constant-strategy attack the GWAP defenses target).
+
+use crate::data::{Assignment, LabelMatrix};
+use rand::Rng;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticCrowd {
+    n_tasks: usize,
+    n_classes: usize,
+    n_workers: usize,
+    accuracy: f64,
+    adversarial_share: f64,
+}
+
+/// A generated workload: the matrix plus its gold labels.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorld {
+    /// The redundant label matrix.
+    pub matrix: LabelMatrix,
+    /// Gold class per task.
+    pub gold: Vec<usize>,
+    /// Which workers are adversarial.
+    pub adversarial: Vec<bool>,
+}
+
+impl SyntheticCrowd {
+    /// Creates a generator with `n_workers` workers of the given
+    /// `accuracy` (clamped to `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero.
+    #[must_use]
+    pub fn new(n_tasks: usize, n_classes: usize, n_workers: usize, accuracy: f64) -> Self {
+        assert!(
+            n_tasks > 0 && n_classes > 0 && n_workers > 0,
+            "dimensions must be positive"
+        );
+        SyntheticCrowd {
+            n_tasks,
+            n_classes,
+            n_workers,
+            accuracy: accuracy.clamp(0.0, 1.0),
+            adversarial_share: 0.0,
+        }
+    }
+
+    /// Marks a trailing fraction of workers as adversarial (always answer
+    /// class 0).
+    #[must_use]
+    pub fn with_adversarial_share(mut self, share: f64) -> Self {
+        self.adversarial_share = share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates a workload with `redundancy` labels per task, assigned to
+    /// distinct random workers per task.
+    pub fn generate<R: Rng + ?Sized>(&self, redundancy: usize, rng: &mut R) -> SyntheticWorld {
+        let adversarial_from =
+            self.n_workers - (self.n_workers as f64 * self.adversarial_share).round() as usize;
+        let adversarial: Vec<bool> = (0..self.n_workers).map(|w| w >= adversarial_from).collect();
+        let gold: Vec<usize> = (0..self.n_tasks)
+            .map(|_| rng.gen_range(0..self.n_classes))
+            .collect();
+        let mut matrix = LabelMatrix::new(self.n_tasks, self.n_classes);
+        let redundancy = redundancy.min(self.n_workers);
+        for (task, &g) in gold.iter().enumerate() {
+            // Sample `redundancy` distinct workers (partial Fisher–Yates).
+            let mut pool: Vec<usize> = (0..self.n_workers).collect();
+            for slot in 0..redundancy {
+                let pick = rng.gen_range(slot..pool.len());
+                pool.swap(slot, pick);
+                let worker = pool[slot];
+                let class = if adversarial[worker] {
+                    0
+                } else if rng.gen::<f64>() < self.accuracy {
+                    g
+                } else {
+                    // Uniform error over the *other* classes.
+                    let mut c = rng.gen_range(0..self.n_classes.max(2) - 1);
+                    if c >= g {
+                        c += 1;
+                    }
+                    c.min(self.n_classes - 1)
+                };
+                matrix.push(Assignment {
+                    task,
+                    worker,
+                    class,
+                });
+            }
+        }
+        SyntheticWorld {
+            matrix,
+            gold,
+            adversarial,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn shape_is_as_requested() {
+        let mut r = rng();
+        let world = SyntheticCrowd::new(20, 3, 10, 0.8).generate(5, &mut r);
+        assert_eq!(world.matrix.n_tasks(), 20);
+        assert_eq!(world.matrix.n_classes(), 3);
+        assert_eq!(world.matrix.len(), 100);
+        assert_eq!(world.gold.len(), 20);
+        assert!((world.matrix.redundancy() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workers_are_distinct_within_a_task() {
+        let mut r = rng();
+        let world = SyntheticCrowd::new(10, 2, 6, 0.9).generate(6, &mut r);
+        for t in 0..10 {
+            let mut workers: Vec<usize> = world
+                .matrix
+                .labels_for(t)
+                .iter()
+                .map(|a| a.worker)
+                .collect();
+            workers.sort_unstable();
+            workers.dedup();
+            assert_eq!(workers.len(), 6);
+        }
+    }
+
+    #[test]
+    fn accuracy_controls_error_rate() {
+        let mut r = rng();
+        let world = SyntheticCrowd::new(300, 4, 20, 0.75).generate(5, &mut r);
+        let mut correct = 0;
+        let mut total = 0;
+        for a in world.matrix.iter() {
+            total += 1;
+            if a.class == world.gold[a.task] {
+                correct += 1;
+            }
+        }
+        let rate = correct as f64 / total as f64;
+        // Allow for accidental correctness of the uniform-error branch.
+        assert!((rate - 0.75).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn adversaries_always_answer_zero() {
+        let mut r = rng();
+        let world = SyntheticCrowd::new(50, 3, 10, 0.9)
+            .with_adversarial_share(0.3)
+            .generate(5, &mut r);
+        let n_adv = world.adversarial.iter().filter(|&&a| a).count();
+        assert_eq!(n_adv, 3);
+        for a in world.matrix.iter() {
+            if world.adversarial[a.worker] {
+                assert_eq!(a.class, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn redundancy_caps_at_worker_count() {
+        let mut r = rng();
+        let world = SyntheticCrowd::new(5, 2, 3, 0.9).generate(10, &mut r);
+        assert_eq!(world.matrix.len(), 15); // 3 per task, not 10
+    }
+
+    #[test]
+    fn binary_classes_error_goes_to_other_class() {
+        let mut r = rng();
+        let world = SyntheticCrowd::new(100, 2, 10, 0.0).generate(3, &mut r);
+        for a in world.matrix.iter() {
+            assert_ne!(a.class, world.gold[a.task], "accuracy 0 always errs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimensions_panic() {
+        let _ = SyntheticCrowd::new(0, 2, 3, 0.5);
+    }
+}

@@ -1,0 +1,134 @@
+//! Weighted voting.
+
+use crate::data::LabelMatrix;
+use crate::Aggregator;
+
+/// Plurality with per-worker weights — typically gold-task accuracies or
+/// reputations. Workers without a weight get `default_weight`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedVote {
+    weights: Vec<f64>,
+    default_weight: f64,
+}
+
+impl WeightedVote {
+    /// Creates a weighted vote with `weights[worker]` per worker and
+    /// `default_weight` for workers beyond the vector. Negative and
+    /// non-finite weights are treated as zero.
+    #[must_use]
+    pub fn new(weights: Vec<f64>, default_weight: f64) -> Self {
+        WeightedVote {
+            weights,
+            default_weight: sanitize(default_weight),
+        }
+    }
+
+    fn weight_of(&self, worker: usize) -> f64 {
+        self.weights
+            .get(worker)
+            .copied()
+            .map_or(self.default_weight, sanitize)
+    }
+}
+
+fn sanitize(w: f64) -> f64 {
+    if w.is_finite() && w > 0.0 {
+        w
+    } else {
+        0.0
+    }
+}
+
+impl Aggregator for WeightedVote {
+    fn aggregate(&self, matrix: &LabelMatrix) -> Vec<Option<usize>> {
+        (0..matrix.n_tasks())
+            .map(|t| {
+                let mut mass = vec![0.0f64; matrix.n_classes()];
+                for a in matrix.labels_for(t) {
+                    mass[a.class] += self.weight_of(a.worker);
+                }
+                let best = mass.iter().copied().fold(0.0f64, f64::max);
+                if best <= 0.0 {
+                    None
+                } else {
+                    mass.iter().position(|&m| m == best)
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Assignment;
+
+    #[test]
+    fn heavier_workers_dominate() {
+        let mut m = LabelMatrix::new(1, 2);
+        // Two light workers vote class 0; one heavy worker votes class 1.
+        m.push(Assignment {
+            task: 0,
+            worker: 0,
+            class: 0,
+        });
+        m.push(Assignment {
+            task: 0,
+            worker: 1,
+            class: 0,
+        });
+        m.push(Assignment {
+            task: 0,
+            worker: 2,
+            class: 1,
+        });
+        let wv = WeightedVote::new(vec![0.3, 0.3, 1.0], 0.5);
+        assert_eq!(wv.aggregate(&m), vec![Some(1)]);
+    }
+
+    #[test]
+    fn missing_weights_use_default() {
+        let mut m = LabelMatrix::new(1, 2);
+        m.push(Assignment {
+            task: 0,
+            worker: 5,
+            class: 1,
+        });
+        let wv = WeightedVote::new(vec![], 0.7);
+        assert_eq!(wv.aggregate(&m), vec![Some(1)]);
+    }
+
+    #[test]
+    fn all_zero_weight_abstains() {
+        let mut m = LabelMatrix::new(1, 2);
+        m.push(Assignment {
+            task: 0,
+            worker: 0,
+            class: 1,
+        });
+        let wv = WeightedVote::new(vec![0.0], 0.0);
+        assert_eq!(wv.aggregate(&m), vec![None]);
+    }
+
+    #[test]
+    fn bad_weights_sanitize_to_zero() {
+        let mut m = LabelMatrix::new(1, 2);
+        m.push(Assignment {
+            task: 0,
+            worker: 0,
+            class: 0,
+        });
+        m.push(Assignment {
+            task: 0,
+            worker: 1,
+            class: 1,
+        });
+        let wv = WeightedVote::new(vec![f64::NAN, 1.0], -5.0);
+        assert_eq!(wv.aggregate(&m), vec![Some(1)]);
+        assert_eq!(wv.name(), "weighted");
+    }
+}

@@ -1,0 +1,32 @@
+//! Micro-benchmark: aggregation strategies over a synthetic label matrix
+//! (majority vs agreement threshold vs Dawid–Skene EM).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_aggregate::prelude::*;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let world = SyntheticCrowd::new(500, 4, 50, 0.75)
+        .with_adversarial_share(0.1)
+        .generate(5, &mut rng);
+
+    c.bench_function("aggregate/majority_500x5", |b| {
+        b.iter(|| black_box(MajorityVote.aggregate(&world.matrix)));
+    });
+    c.bench_function("aggregate/threshold_500x5", |b| {
+        let agg = AgreementThreshold::new(3);
+        b.iter(|| black_box(agg.aggregate(&world.matrix)));
+    });
+    c.bench_function("aggregate/dawid_skene_500x5", |b| {
+        let ds = DawidSkene {
+            max_iters: 20,
+            ..DawidSkene::default()
+        };
+        b.iter(|| black_box(ds.aggregate(&world.matrix)));
+    });
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

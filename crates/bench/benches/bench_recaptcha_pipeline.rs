@@ -1,0 +1,47 @@
+//! Micro-benchmark: reCAPTCHA challenge issue + answer processing — the
+//! per-request cost of the digitization service.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_captcha::{HumanReader, OcrEngine, ReCaptcha, ReCaptchaConfig, ScannedCorpus};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_recaptcha(c: &mut Criterion) {
+    c.bench_function("recaptcha/issue_and_answer", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let corpus = ScannedCorpus::generate(20_000, 0.5, 1.0, &mut rng);
+        let mut service = ReCaptcha::new(
+            corpus,
+            OcrEngine::commercial(),
+            // Threshold high enough that the pool never drains mid-bench.
+            ReCaptchaConfig {
+                promote_votes: 1.0e9,
+                ..ReCaptchaConfig::default()
+            },
+            &mut rng,
+        );
+        let reader = HumanReader::typical();
+        b.iter(|| {
+            let ch = service.issue(&mut rng).expect("pending pool non-empty");
+            let control = reader.read(&ch.control_text, ch.control_distortion, &mut rng);
+            let unknown = reader.read(&ch.unknown_truth, ch.unknown_distortion, &mut rng);
+            black_box(service.answer(&ch, &control, &unknown))
+        });
+    });
+
+    c.bench_function("recaptcha/service_construction_5k", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let corpus = ScannedCorpus::generate(5_000, 0.5, 1.0, &mut rng);
+        b.iter(|| {
+            black_box(ReCaptcha::new(
+                corpus.clone(),
+                OcrEngine::commercial(),
+                ReCaptchaConfig::default(),
+                &mut rng,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_recaptcha);
+criterion_main!(benches);

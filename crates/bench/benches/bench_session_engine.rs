@@ -1,0 +1,47 @@
+//! Micro-benchmark: one full ESP session through the round state machine,
+//! verification pipeline and platform bookkeeping — the unit of work the
+//! campaign simulator repeats hundreds of thousands of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_core::prelude::*;
+use hc_crowd::{ArchetypeMix, PopulationBuilder};
+use hc_games::{esp::play_esp_session, EspWorld, WorldConfig};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_session(c: &mut Criterion) {
+    c.bench_function("esp/full_session", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let world = EspWorld::generate(&WorldConfig::small(), &mut rng);
+        let mut platform = Platform::new(PlatformConfig {
+            gold_injection_rate: 0.0,
+            ..PlatformConfig::default()
+        })
+        .unwrap();
+        world.register_tasks(&mut platform);
+        let mut pop = PopulationBuilder::new(2)
+            .mix(ArchetypeMix::all_honest())
+            .build(&mut rng);
+        platform.register_player();
+        platform.register_player();
+        let mut sid = 0u64;
+        let mut t0 = 0u64;
+        b.iter(|| {
+            sid += 1;
+            t0 += 1_000;
+            black_box(play_esp_session(
+                &mut platform,
+                &world,
+                &mut pop,
+                PlayerId::new(0),
+                PlayerId::new(1),
+                SessionId::new(sid),
+                SimTime::from_secs(t0),
+                &mut rng,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

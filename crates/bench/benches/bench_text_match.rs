@@ -1,0 +1,36 @@
+//! Micro-benchmark: label normalization and edit-distance matching — the
+//! per-guess cost of every output-agreement round and reCAPTCHA check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_core::text::{fuzzy_agree, levenshtein, normalize_label};
+use std::hint::black_box;
+
+fn bench_text(c: &mut Criterion) {
+    c.bench_function("normalize_label/short", |b| {
+        b.iter(|| normalize_label(black_box("  Hot DOGS!! ")));
+    });
+    c.bench_function("normalize_label/sentence", |b| {
+        b.iter(|| {
+            normalize_label(black_box(
+                "It is a Kind of Animal, found on FARMS (usually).",
+            ))
+        });
+    });
+    c.bench_function("levenshtein/6x7", |b| {
+        b.iter(|| levenshtein(black_box("kitten"), black_box("sitting")));
+    });
+    c.bench_function("levenshtein/20x20", |b| {
+        b.iter(|| {
+            levenshtein(
+                black_box("abcdefghijklmnopqrst"),
+                black_box("abcdefghijklmnopqrsu"),
+            )
+        });
+    });
+    c.bench_function("fuzzy_agree/tolerant", |b| {
+        b.iter(|| fuzzy_agree(black_box("Overlooked"), black_box("overlook"), 2));
+    });
+}
+
+criterion_group!(benches, bench_text);
+criterion_main!(benches);

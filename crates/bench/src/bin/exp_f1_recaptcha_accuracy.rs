@@ -1,0 +1,98 @@
+//! Experiment F1 — reCAPTCHA word accuracy vs agreement threshold.
+//!
+//! The Science'08 result the DAC'09 paper cites: human-transcribed words
+//! reach ≥ 99% accuracy (professional-transcriber grade) once at least
+//! two humans must agree, while standalone OCR sits near ~83% on hard
+//! scans. We sweep the promotion threshold and report digitized accuracy,
+//! answers needed per word, and the OCR-only baseline.
+
+use hc_bench::{f1, f3, paper, seed_from_args, Table};
+use hc_captcha::{
+    DigitizationPipeline, HumanReader, OcrEngine, ReCaptcha, ReCaptchaConfig, ScannedCorpus,
+};
+use hc_core::text::normalize_label;
+use hc_sim::RngFactory;
+use serde::Serialize;
+
+const WORDS: usize = 3_000;
+
+#[derive(Serialize)]
+struct Row {
+    promote_votes: f64,
+    digitized_fraction: f64,
+    digitized_accuracy: f64,
+    answers_per_word: f64,
+    ocr_only_accuracy: f64,
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let factory = RngFactory::new(seed);
+    let mut table = Table::new(
+        "F1 — reCAPTCHA word accuracy vs agreement threshold",
+        &[
+            "votes",
+            "digitized",
+            "accuracy",
+            "answers/word",
+            "OCR-only acc",
+        ],
+    );
+
+    // OCR-only baseline: one pass over the same corpus.
+    let ocr_only_accuracy = {
+        let mut rng = factory.stream("ocr-baseline");
+        let corpus = ScannedCorpus::generate(WORDS, 0.0, 0.05, &mut rng);
+        let ocr = OcrEngine::commercial();
+        let correct = corpus
+            .iter()
+            .filter(|w| {
+                normalize_label(&ocr.read(&w.truth, w.distortion, &mut rng))
+                    == normalize_label(&w.truth)
+            })
+            .count();
+        correct as f64 / WORDS as f64
+    };
+
+    for promote in [1.0f64, 1.5, 2.0, 2.5, 3.0, 4.0] {
+        let mut rng = factory.indexed_stream("f1", (promote * 10.0) as u64);
+        let corpus = ScannedCorpus::generate(WORDS, 0.0, 0.05, &mut rng);
+        let config = ReCaptchaConfig {
+            promote_votes: promote,
+            ..ReCaptchaConfig::default()
+        };
+        let service = ReCaptcha::new(corpus, OcrEngine::commercial(), config, &mut rng);
+        let mut pipeline = DigitizationPipeline::new(
+            service,
+            HumanReader::typical(),
+            0.0,
+            OcrEngine::commercial(),
+        );
+        pipeline.run(WORDS as u64 * 12, &mut rng);
+        let prog = pipeline.progress();
+        let digitized_words = (prog.digitized_fraction * WORDS as f64).max(1.0);
+        let row = Row {
+            promote_votes: promote,
+            digitized_fraction: prog.digitized_fraction,
+            digitized_accuracy: prog.digitized_accuracy,
+            answers_per_word: prog.answers as f64 / digitized_words,
+            ocr_only_accuracy,
+        };
+        table.row(
+            &[
+                f1(promote),
+                f3(prog.digitized_fraction),
+                f3(prog.digitized_accuracy),
+                f1(row.answers_per_word),
+                f3(ocr_only_accuracy),
+            ],
+            &row,
+        );
+    }
+    table.print();
+    println!(
+        "\npaper reference: reCAPTCHA ≥ {:.0}% word accuracy; standalone OCR ≈ {:.1}%",
+        paper::RECAPTCHA_WORD_ACCURACY * 100.0,
+        paper::OCR_WORD_ACCURACY * 100.0
+    );
+}

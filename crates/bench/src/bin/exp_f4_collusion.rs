@@ -1,0 +1,168 @@
+//! Experiment F4 — anti-cheat ablation against collusion.
+//!
+//! The "always type X" attack: colluders agree out-of-band on a constant
+//! label, hoping to be paired and flood the label store. The paper's
+//! defenses are layered; we ablate them cumulatively:
+//!
+//! 1. **none** — k = 1, no gold tasks (every colluder pairing poisons);
+//! 2. **+k-agreement** — k = 2 (distinct pairs must repeat the label);
+//! 3. **+gold tasks** — colluders answer gold tasks with their strategy
+//!    label, fail, and their agreements stop counting;
+//! 4. **+entropy detector** — the spam detector flags constant-answer
+//!    players (reported as detection recall).
+//!
+//! Poison rate = fraction of verified labels that are the attack label.
+
+use hc_bench::{f3, pct, seed_from_args, Table};
+use hc_core::anticheat::CheatDetector;
+use hc_core::prelude::*;
+use hc_crowd::{ArchetypeMix, PopulationBuilder};
+use hc_games::{esp::play_esp_session, EspWorld, WorldConfig};
+use hc_sim::RngFactory;
+use serde::Serialize;
+
+const PLAYERS: usize = 40;
+const SESSIONS: u64 = 300;
+const ATTACK_LABEL: &str = "attacklabel";
+
+#[derive(Serialize)]
+struct Row {
+    colluder_share: f64,
+    defense: String,
+    poisoned_rate: f64,
+    verified: usize,
+    rejected_agreements: u64,
+    detector_recall: f64,
+}
+
+struct Defense {
+    name: &'static str,
+    k: u32,
+    gold: bool,
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let factory = RngFactory::new(seed);
+    let mut table = Table::new(
+        "F4 — collusion attack vs layered defenses",
+        &[
+            "colluders",
+            "defense",
+            "poisoned",
+            "verified",
+            "rejected",
+            "detector recall",
+        ],
+    );
+
+    let defenses = [
+        Defense {
+            name: "none (k=1)",
+            k: 1,
+            gold: false,
+        },
+        Defense {
+            name: "+k=2",
+            k: 2,
+            gold: false,
+        },
+        Defense {
+            name: "+gold",
+            k: 2,
+            gold: true,
+        },
+    ];
+
+    for share in [0.1f64, 0.25, 0.4] {
+        for (di, d) in defenses.iter().enumerate() {
+            let mut rng = factory.indexed_stream("f4", (share * 100.0) as u64 * 10 + di as u64);
+            let mut world_cfg = WorldConfig::standard();
+            world_cfg.stimuli = 300;
+            let mut world = EspWorld::generate(&world_cfg, &mut rng);
+            let mut platform = Platform::new(PlatformConfig {
+                agreement_threshold: d.k,
+                gold_injection_rate: if d.gold { 0.25 } else { 0.0 },
+                gold_min_accuracy: 0.5,
+                gold_min_evidence: 3,
+                ..PlatformConfig::default()
+            })
+            .expect("valid config");
+            world.register_tasks(&mut platform);
+            if d.gold {
+                world.register_gold_tasks(&mut platform, &world_cfg, 30, &mut rng);
+            }
+            platform.set_cheat_detector(CheatDetector::new(0.5, 0.8, 15));
+            let mix = ArchetypeMix::with_colluders(1.0 - share, share, ATTACK_LABEL);
+            let mut pop = PopulationBuilder::new(PLAYERS).mix(mix).build(&mut rng);
+            for _ in 0..PLAYERS {
+                platform.register_player();
+            }
+            for s in 0..SESSIONS {
+                let a = PlayerId::new((2 * s) % PLAYERS as u64);
+                let mut b = PlayerId::new((2 * s + 1 + s / PLAYERS as u64) % PLAYERS as u64);
+                if a == b {
+                    b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
+                }
+                play_esp_session(
+                    &mut platform,
+                    &world,
+                    &mut pop,
+                    a,
+                    b,
+                    SessionId::new(s),
+                    SimTime::from_secs(s * 1_000),
+                    &mut rng,
+                );
+            }
+            let attack = Label::new(ATTACK_LABEL);
+            let verified = platform.verified_labels().len();
+            let poisoned = platform
+                .verified_labels()
+                .iter()
+                .filter(|v| v.label == attack)
+                .count();
+            let poisoned_rate = if verified == 0 {
+                0.0
+            } else {
+                poisoned as f64 / verified as f64
+            };
+            // Detector recall over the true colluders.
+            let colluders: Vec<PlayerId> = pop
+                .players()
+                .iter()
+                .filter(|p| p.is_adversarial())
+                .map(|p| p.id)
+                .collect();
+            let flagged = colluders
+                .iter()
+                .filter(|p| platform.cheat_detector().assess(**p).is_suspicious())
+                .count();
+            let recall = if colluders.is_empty() {
+                1.0
+            } else {
+                flagged as f64 / colluders.len() as f64
+            };
+            table.row(
+                &[
+                    pct(share),
+                    d.name.to_string(),
+                    f3(poisoned_rate),
+                    verified.to_string(),
+                    platform.rejected_agreements().to_string(),
+                    f3(recall),
+                ],
+                &Row {
+                    colluder_share: share,
+                    defense: d.name.to_string(),
+                    poisoned_rate,
+                    verified,
+                    rejected_agreements: platform.rejected_agreements(),
+                    detector_recall: recall,
+                },
+            );
+        }
+    }
+    table.print();
+    println!("\nexpected shape: poison rate falls with each defense layer; gold + reputation drives it toward zero while honest verification volume survives");
+}

@@ -1,0 +1,73 @@
+//! Experiment F5 — platform scaling with concurrency.
+//!
+//! Output-agreement games need *pairs* of simultaneous players. This
+//! experiment runs the full event-driven ESP campaign at increasing
+//! population sizes and reports pairing wait, the replay-bot fallback
+//! share, and verified-label throughput — the queueing story behind the
+//! paper's observation that GWAPs live on busy portals (and why the
+//! deployed ESP Game shipped a recorded-partner fallback at all).
+
+use hc_bench::{f1, f3, pct, seed_from_args, Table};
+use hc_games::{EspCampaign, EspCampaignConfig};
+use hc_sim::{SimDuration, SimTime};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    players: usize,
+    live_sessions: u64,
+    replay_sessions: u64,
+    replay_share: f64,
+    mean_wait_secs: f64,
+    labels_per_hour: f64,
+    precision: f64,
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let mut table = Table::new(
+        "F5 — pairing latency, replay fallback and throughput vs population",
+        &[
+            "players",
+            "live",
+            "replay",
+            "replay share",
+            "wait(s)",
+            "labels/hh",
+            "precision",
+        ],
+    );
+
+    for players in [4usize, 8, 16, 32, 64, 128] {
+        let mut config = EspCampaignConfig::small();
+        config.players = players;
+        config.horizon = SimTime::from_secs(6 * 3600);
+        config.world.stimuli = 600;
+        config.arrival_spread = SimDuration::from_mins(45);
+        let mut campaign = EspCampaign::new(config, seed);
+        let report = campaign.run();
+        let row = Row {
+            players,
+            live_sessions: report.live_sessions,
+            replay_sessions: report.replay_sessions,
+            replay_share: report.matchmaker.replay_share(),
+            mean_wait_secs: report.mean_wait_secs,
+            labels_per_hour: report.metrics.throughput_per_human_hour,
+            precision: report.precision_rate(),
+        };
+        table.row(
+            &[
+                players.to_string(),
+                report.live_sessions.to_string(),
+                report.replay_sessions.to_string(),
+                pct(row.replay_share),
+                f1(row.mean_wait_secs),
+                f1(row.labels_per_hour),
+                f3(row.precision),
+            ],
+            &row,
+        );
+    }
+    table.print();
+    println!("\nexpected shape: replay share and wait fall as the population grows; per-human-hour throughput stabilizes once live pairing dominates");
+}

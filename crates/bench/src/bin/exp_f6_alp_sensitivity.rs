@@ -1,0 +1,75 @@
+//! Experiment F6 — expected contribution vs ALP (enjoyability).
+//!
+//! The paper's central design argument: at fixed throughput, a game's
+//! total output scales with how long people *choose* to play — expected
+//! contribution = throughput × ALP. We sweep the engagement model's churn
+//! and session-length parameters, reporting analytic and sampled ALP and
+//! the implied expected contribution at the ESP Game's measured
+//! throughput.
+
+use hc_bench::{f1, paper, seed_from_args, Table};
+use hc_crowd::EngagementModel;
+use hc_sim::RngFactory;
+use serde::Serialize;
+
+const LIFETIMES: usize = 20_000;
+
+#[derive(Serialize)]
+struct Row {
+    median_session_mins: f64,
+    churn_rate: f64,
+    alp_analytic_mins: f64,
+    alp_sampled_mins: f64,
+    expected_contribution_at_esp_throughput: f64,
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let factory = RngFactory::new(seed);
+    let mut table = Table::new(
+        "F6 — ALP sensitivity: expected contribution vs engagement",
+        &[
+            "median session(min)",
+            "churn",
+            "ALP analytic(min)",
+            "ALP sampled(min)",
+            "E[contrib] @233/hh",
+        ],
+    );
+
+    for (mi, median) in [3.0f64, 6.5, 12.0].iter().enumerate() {
+        for (ci, churn) in [0.05f64, 0.1, 0.2, 0.4].iter().enumerate() {
+            let model = EngagementModel::new(median.ln(), 0.82, *churn).expect("valid model");
+            let mut rng = factory.indexed_stream("f6", (mi * 10 + ci) as u64);
+            let mut total_hours = 0.0;
+            for _ in 0..LIFETIMES {
+                total_hours += model.sample_lifetime(&mut rng).total_play().as_hours_f64();
+            }
+            let sampled = total_hours / LIFETIMES as f64;
+            let analytic = model.expected_alp_hours();
+            let row = Row {
+                median_session_mins: *median,
+                churn_rate: *churn,
+                alp_analytic_mins: analytic * 60.0,
+                alp_sampled_mins: sampled * 60.0,
+                expected_contribution_at_esp_throughput: paper::ESP_THROUGHPUT * sampled,
+            };
+            table.row(
+                &[
+                    f1(*median),
+                    f1(*churn * 100.0) + "%",
+                    f1(analytic * 60.0),
+                    f1(sampled * 60.0),
+                    f1(row.expected_contribution_at_esp_throughput),
+                ],
+                &row,
+            );
+        }
+    }
+    table.print();
+    println!(
+        "\npaper reference: ESP ALP ≈ {:.0} min ⇒ E[contribution] ≈ {:.0} labels per recruit",
+        paper::ESP_ALP_HOURS * 60.0,
+        paper::ESP_EXPECTED_CONTRIBUTION
+    );
+}

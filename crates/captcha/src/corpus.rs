@@ -1,0 +1,183 @@
+//! A synthetic scanned-book corpus.
+//!
+//! Each [`ScannedWord`] is a pseudo-word (pronounceable syllables, so edit
+//! distances behave like English) with a **distortion** level in `[0, 1]`
+//! standing in for scan quality: ink bleed, skew, fading. Distortion is
+//! what couples the whole system together — OCR accuracy collapses with
+//! it while human accuracy barely moves, which is precisely the gap
+//! reCAPTCHA harvests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+const ONSETS: [&str; 16] = [
+    "b", "br", "c", "ch", "d", "f", "g", "gr", "l", "m", "n", "p", "s", "st", "t", "tr",
+];
+const VOWELS: [&str; 8] = ["a", "e", "i", "o", "u", "ai", "ea", "ou"];
+const CODAS: [&str; 8] = ["", "n", "r", "s", "t", "nd", "st", "ck"];
+
+/// Generates one pronounceable pseudo-word of 2–3 syllables.
+pub fn pseudo_word<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let syllables = rng.gen_range(2..=3);
+    let mut w = String::new();
+    for i in 0..syllables {
+        w.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+        w.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+        if i == syllables - 1 {
+            w.push_str(CODAS[rng.gen_range(0..CODAS.len())]);
+        }
+    }
+    w
+}
+
+/// One word of the scanned corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScannedWord {
+    /// Index within the corpus.
+    pub index: usize,
+    /// The true text (unknown to the system; the experiment's gold).
+    pub truth: String,
+    /// Scan distortion in `[0, 1]`.
+    pub distortion: f64,
+}
+
+/// The whole corpus.
+///
+/// # Examples
+///
+/// ```
+/// use hc_captcha::ScannedCorpus;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let corpus = ScannedCorpus::generate(100, 0.2, 0.9, &mut rng);
+/// assert_eq!(corpus.len(), 100);
+/// let w = corpus.word(0).unwrap();
+/// assert!((0.2..=0.9).contains(&w.distortion));
+/// assert!(w.truth.len() >= 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScannedCorpus {
+    words: Vec<ScannedWord>,
+}
+
+impl ScannedCorpus {
+    /// Generates `n` words with distortion uniform in
+    /// `[distortion_lo, distortion_hi]` (clamped and ordered).
+    pub fn generate<R: Rng + ?Sized>(
+        n: usize,
+        distortion_lo: f64,
+        distortion_hi: f64,
+        rng: &mut R,
+    ) -> Self {
+        let lo = distortion_lo.clamp(0.0, 1.0);
+        let hi = distortion_hi.clamp(0.0, 1.0);
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let words = (0..n)
+            .map(|index| ScannedWord {
+                index,
+                truth: pseudo_word(rng),
+                distortion: if hi > lo { rng.gen_range(lo..=hi) } else { lo },
+            })
+            .collect();
+        ScannedCorpus { words }
+    }
+
+    /// Number of words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Access one word.
+    #[must_use]
+    pub fn word(&self, index: usize) -> Option<&ScannedWord> {
+        self.words.get(index)
+    }
+
+    /// Iterates over all words.
+    pub fn iter(&self) -> impl Iterator<Item = &ScannedWord> {
+        self.words.iter()
+    }
+
+    /// Mean distortion across the corpus.
+    #[must_use]
+    pub fn mean_distortion(&self) -> f64 {
+        if self.words.is_empty() {
+            return 0.0;
+        }
+        self.words.iter().map(|w| w.distortion).sum::<f64>() / self.words.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn pseudo_words_are_plausible() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let w = pseudo_word(&mut r);
+            assert!(w.len() >= 2 && w.len() <= 12, "odd word {w:?}");
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = ScannedCorpus::generate(50, 0.0, 1.0, &mut rng());
+        let b = ScannedCorpus::generate(50, 0.0, 1.0, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distortion_bounds_clamped_and_ordered() {
+        let mut r = rng();
+        let c = ScannedCorpus::generate(100, 0.9, 0.1, &mut r); // reversed
+        for w in c.iter() {
+            assert!((0.1..=0.9).contains(&w.distortion));
+        }
+        let c = ScannedCorpus::generate(10, -5.0, 7.0, &mut r); // out of range
+        for w in c.iter() {
+            assert!((0.0..=1.0).contains(&w.distortion));
+        }
+    }
+
+    #[test]
+    fn degenerate_distortion_range() {
+        let mut r = rng();
+        let c = ScannedCorpus::generate(10, 0.5, 0.5, &mut r);
+        assert!(c.iter().all(|w| w.distortion == 0.5));
+        assert!((c.mean_distortion() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let mut r = rng();
+        let c = ScannedCorpus::generate(0, 0.0, 1.0, &mut r);
+        assert!(c.is_empty());
+        assert_eq!(c.mean_distortion(), 0.0);
+        assert!(c.word(0).is_none());
+    }
+
+    #[test]
+    fn indices_are_sequential() {
+        let mut r = rng();
+        let c = ScannedCorpus::generate(20, 0.0, 1.0, &mut r);
+        for (i, w) in c.iter().enumerate() {
+            assert_eq!(w.index, i);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The simulated OCR engine — both the digitization helper and the
+//! CAPTCHA attacker.
+//!
+//! The model: per-character read accuracy falls **linearly** with
+//! distortion, so whole-word accuracy falls geometrically in word length.
+//! On clean text (`d = 0`) the engine reads ≈ 98–99% of characters —
+//! matching commercial OCR on good scans — while at full CAPTCHA-level
+//! distortion a 6-letter word survives with probability well under 1%,
+//! reproducing the paper's "programs fail" premise. Misread characters
+//! are substituted from a visual-confusion table (`o`↔`c`, `l`↔`i`, …),
+//! the same error structure real OCR exhibits.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Visual confusion substitutes per character (what OCR misreads it as).
+fn confusion_of(c: char) -> char {
+    match c {
+        'o' => 'c',
+        'c' => 'o',
+        'l' => 'i',
+        'i' => 'l',
+        'e' => 'c',
+        'u' => 'v',
+        'v' => 'u',
+        'n' => 'h',
+        'h' => 'n',
+        'a' => 'o',
+        't' => 'f',
+        'f' => 't',
+        's' => 'z',
+        'b' => 'h',
+        'r' => 'n',
+        'm' => 'n',
+        'd' => 'b',
+        'g' => 'q',
+        'p' => 'q',
+        'q' => 'g',
+        other => {
+            // Shift within the alphabet for anything unlisted.
+            if other.is_ascii_lowercase() {
+                (((other as u8 - b'a' + 1) % 26) + b'a') as char
+            } else {
+                'x'
+            }
+        }
+    }
+}
+
+/// A parametric OCR engine.
+///
+/// # Examples
+///
+/// ```
+/// use hc_captcha::OcrEngine;
+/// use rand::SeedableRng;
+///
+/// let ocr = OcrEngine::commercial();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// // Clean text is read nearly perfectly…
+/// assert!(ocr.word_accuracy("example", 0.0) > 0.85);
+/// // …but heavy distortion defeats it.
+/// assert!(ocr.word_accuracy("example", 1.0) < 0.01);
+/// let _reading = ocr.read("example", 0.5, &mut rng);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OcrEngine {
+    /// Per-character accuracy on undistorted text.
+    pub clean_char_accuracy: f64,
+    /// Per-character accuracy lost per unit distortion.
+    pub distortion_penalty: f64,
+}
+
+impl OcrEngine {
+    /// A commercial-grade engine: 98.5% per character clean, collapsing
+    /// under distortion.
+    #[must_use]
+    pub fn commercial() -> Self {
+        OcrEngine {
+            clean_char_accuracy: 0.985,
+            distortion_penalty: 0.62,
+        }
+    }
+
+    /// A stronger research attacker (harder to defeat): 99.5% clean and a
+    /// shallower collapse. Used for the security-margin ablation in F2.
+    #[must_use]
+    pub fn advanced_attacker() -> Self {
+        OcrEngine {
+            clean_char_accuracy: 0.995,
+            distortion_penalty: 0.45,
+        }
+    }
+
+    /// Per-character accuracy at a distortion level.
+    #[must_use]
+    pub fn char_accuracy(&self, distortion: f64) -> f64 {
+        (self.clean_char_accuracy - self.distortion_penalty * distortion.clamp(0.0, 1.0))
+            .clamp(0.0, 1.0)
+    }
+
+    /// Probability the whole word is read exactly.
+    #[must_use]
+    pub fn word_accuracy(&self, word: &str, distortion: f64) -> f64 {
+        self.char_accuracy(distortion)
+            .powi(word.chars().count() as i32)
+    }
+
+    /// Produces the engine's transcription: each character survives with
+    /// the per-character accuracy, otherwise gets a confusion substitute;
+    /// with a small distortion-scaled probability a character is dropped
+    /// entirely (segmentation failure).
+    pub fn read<R: Rng + ?Sized>(&self, word: &str, distortion: f64, rng: &mut R) -> String {
+        let p = self.char_accuracy(distortion);
+        let drop_p = 0.02 * distortion.clamp(0.0, 1.0);
+        let mut out = String::with_capacity(word.len());
+        for c in word.chars() {
+            if rng.gen::<f64>() < drop_p {
+                continue;
+            }
+            if rng.gen::<f64>() < p {
+                out.push(c);
+            } else {
+                out.push(confusion_of(c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(8)
+    }
+
+    #[test]
+    fn char_accuracy_clamps() {
+        let ocr = OcrEngine::commercial();
+        assert!(ocr.char_accuracy(0.0) > 0.98);
+        assert_eq!(ocr.char_accuracy(5.0), ocr.char_accuracy(1.0));
+        assert!(ocr.char_accuracy(1.0) >= 0.0);
+        assert!(ocr.char_accuracy(-1.0) <= 1.0);
+    }
+
+    #[test]
+    fn word_accuracy_falls_with_length_and_distortion() {
+        let ocr = OcrEngine::commercial();
+        assert!(ocr.word_accuracy("ab", 0.2) > ocr.word_accuracy("abcdef", 0.2));
+        assert!(ocr.word_accuracy("abcdef", 0.1) > ocr.word_accuracy("abcdef", 0.8));
+    }
+
+    #[test]
+    fn empirical_read_rate_matches_model() {
+        let ocr = OcrEngine::commercial();
+        let mut r = rng();
+        let word = "grandest";
+        let d = 0.3;
+        let n = 20_000;
+        let exact = (0..n).filter(|_| ocr.read(word, d, &mut r) == word).count();
+        let rate = exact as f64 / n as f64;
+        // Model rate minus drop probability effects.
+        let drop_none = (1.0 - 0.02 * d).powi(word.len() as i32);
+        let expected = ocr.word_accuracy(word, d) * drop_none;
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "rate {rate:.3} vs expected {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn clean_reads_are_usually_exact() {
+        let ocr = OcrEngine::commercial();
+        let mut r = rng();
+        let exact = (0..1000)
+            .filter(|_| ocr.read("bound", 0.0, &mut r) == "bound")
+            .count();
+        assert!(exact > 900, "exact {exact}");
+    }
+
+    #[test]
+    fn heavy_distortion_defeats_the_attacker() {
+        // Commercial OCR is pushed below the paper's "≪ 1%" pass mark;
+        // the deliberately stronger research attacker retains a small edge
+        // (that is the security-margin story of experiment F2).
+        for (ocr, bound) in [
+            (OcrEngine::commercial(), 0.01),
+            (OcrEngine::advanced_attacker(), 0.05),
+        ] {
+            let mut r = rng();
+            let exact = (0..5000)
+                .filter(|_| ocr.read("certain", 1.0, &mut r) == "certain")
+                .count();
+            assert!(
+                (exact as f64 / 5000.0) < bound,
+                "attacker survived distortion: {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn advanced_attacker_is_stronger() {
+        let d = 0.6;
+        assert!(
+            OcrEngine::advanced_attacker().word_accuracy("sample", d)
+                > OcrEngine::commercial().word_accuracy("sample", d)
+        );
+    }
+
+    #[test]
+    fn confusions_differ_from_input() {
+        for c in "abcdefghijklmnopqrstuvwxyz".chars() {
+            assert_ne!(confusion_of(c), c, "confusion of {c} maps to itself");
+        }
+        assert_eq!(confusion_of('!'), 'x');
+    }
+}

@@ -1,0 +1,228 @@
+//! The book-digitization loop.
+//!
+//! [`DigitizationPipeline`] streams simulated respondents — honest human
+//! readers plus an optional share of OCR bots trying to sneak through —
+//! against a [`ReCaptcha`] service, recording progress snapshots for
+//! experiment F7 (digitized fraction and residual error vs total human
+//! answers).
+
+use crate::human::HumanReader;
+use crate::ocr::OcrEngine;
+use crate::recaptcha::ReCaptcha;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One progress snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineProgress {
+    /// Responses processed so far.
+    pub answers: u64,
+    /// Fraction of the corpus resolved (OCR-solved + digitized).
+    pub resolved_fraction: f64,
+    /// Fraction of the corpus digitized by humans.
+    pub digitized_fraction: f64,
+    /// Accuracy of resolved words against truth.
+    pub resolved_accuracy: f64,
+    /// Accuracy of human-digitized words against truth.
+    pub digitized_accuracy: f64,
+    /// Control-word pass rate so far.
+    pub control_pass_rate: f64,
+}
+
+/// Streams respondents at a reCAPTCHA service.
+#[derive(Debug)]
+pub struct DigitizationPipeline {
+    service: ReCaptcha,
+    reader: HumanReader,
+    /// Fraction of responses that come from an OCR bot instead of a human.
+    bot_share: f64,
+    bot: OcrEngine,
+    answers: u64,
+    passes: u64,
+}
+
+impl DigitizationPipeline {
+    /// Creates a pipeline over `service` with the given human model and a
+    /// `bot_share` in `[0, 1]` of OCR-bot traffic.
+    #[must_use]
+    pub fn new(service: ReCaptcha, reader: HumanReader, bot_share: f64, bot: OcrEngine) -> Self {
+        DigitizationPipeline {
+            service,
+            reader,
+            bot_share: bot_share.clamp(0.0, 1.0),
+            bot,
+            answers: 0,
+            passes: 0,
+        }
+    }
+
+    /// Processes up to `n` responses (stops early when the corpus
+    /// resolves). Returns the number actually processed.
+    pub fn run<R: Rng + ?Sized>(&mut self, n: u64, rng: &mut R) -> u64 {
+        let mut processed = 0;
+        for _ in 0..n {
+            let Some(ch) = self.service.issue(rng) else {
+                break;
+            };
+            let is_bot = rng.gen::<f64>() < self.bot_share;
+            let (control_answer, unknown_answer) = if is_bot {
+                (
+                    self.bot.read(&ch.control_text, ch.control_distortion, rng),
+                    self.bot.read(&ch.unknown_truth, ch.unknown_distortion, rng),
+                )
+            } else {
+                (
+                    self.reader
+                        .read(&ch.control_text, ch.control_distortion, rng),
+                    self.reader
+                        .read(&ch.unknown_truth, ch.unknown_distortion, rng),
+                )
+            };
+            let resp = self.service.answer(&ch, &control_answer, &unknown_answer);
+            self.answers += 1;
+            if resp.passed {
+                self.passes += 1;
+            }
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Takes a progress snapshot.
+    #[must_use]
+    pub fn progress(&self) -> PipelineProgress {
+        let total = self.service.corpus().len().max(1);
+        let (res_correct, resolved) = self.service.resolved_accuracy();
+        let (dig_correct, digitized) = self.service.digitized_accuracy();
+        PipelineProgress {
+            answers: self.answers,
+            resolved_fraction: resolved as f64 / total as f64,
+            digitized_fraction: digitized as f64 / total as f64,
+            resolved_accuracy: if resolved == 0 {
+                0.0
+            } else {
+                res_correct as f64 / resolved as f64
+            },
+            digitized_accuracy: if digitized == 0 {
+                0.0
+            } else {
+                dig_correct as f64 / digitized as f64
+            },
+            control_pass_rate: if self.answers == 0 {
+                0.0
+            } else {
+                self.passes as f64 / self.answers as f64
+            },
+        }
+    }
+
+    /// The underlying service.
+    #[must_use]
+    pub fn service(&self) -> &ReCaptcha {
+        &self.service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::ScannedCorpus;
+    use crate::recaptcha::ReCaptchaConfig;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1001)
+    }
+
+    fn pipeline(n_words: usize, bot_share: f64) -> (DigitizationPipeline, rand::rngs::StdRng) {
+        let mut r = rng();
+        let corpus = ScannedCorpus::generate(n_words, 0.6, 1.0, &mut r);
+        let service = ReCaptcha::new(
+            corpus,
+            OcrEngine::commercial(),
+            ReCaptchaConfig::default(),
+            &mut r,
+        );
+        (
+            DigitizationPipeline::new(
+                service,
+                HumanReader::typical(),
+                bot_share,
+                OcrEngine::commercial(),
+            ),
+            r,
+        )
+    }
+
+    #[test]
+    fn humans_digitize_the_corpus_accurately() {
+        let (mut p, mut r) = pipeline(150, 0.0);
+        p.run(20_000, &mut r);
+        let prog = p.progress();
+        assert!(
+            prog.digitized_fraction > 0.8,
+            "digitized {:.2}",
+            prog.digitized_fraction
+        );
+        assert!(
+            prog.digitized_accuracy > 0.97,
+            "accuracy {:.3}",
+            prog.digitized_accuracy
+        );
+        assert!(
+            prog.control_pass_rate > 0.85,
+            "pass rate {:.2}",
+            prog.control_pass_rate
+        );
+    }
+
+    #[test]
+    fn bots_are_filtered_by_the_control_word() {
+        let (mut p, mut r) = pipeline(100, 1.0); // pure bot traffic
+        p.run(5_000, &mut r);
+        let prog = p.progress();
+        // Bots rarely pass the distorted control (the 1-edit reCAPTCHA
+        // tolerance leaves them a small residual rate), so digitization
+        // stalls relative to human traffic.
+        assert!(
+            prog.control_pass_rate < 0.15,
+            "bot pass rate {:.3}",
+            prog.control_pass_rate
+        );
+        assert!(
+            prog.digitized_fraction < 0.3,
+            "bots digitized {:.2}",
+            prog.digitized_fraction
+        );
+    }
+
+    #[test]
+    fn run_stops_when_corpus_resolves() {
+        let (mut p, mut r) = pipeline(20, 0.0);
+        let processed = p.run(1_000_000, &mut r);
+        assert!(processed < 1_000_000);
+        assert_eq!(p.service().pending_count(), 0);
+    }
+
+    #[test]
+    fn progress_on_fresh_pipeline() {
+        let (p, _) = pipeline(10, 0.0);
+        let prog = p.progress();
+        assert_eq!(prog.answers, 0);
+        assert_eq!(prog.control_pass_rate, 0.0);
+        assert_eq!(prog.digitized_fraction, 0.0);
+    }
+
+    #[test]
+    fn mixed_traffic_still_converges() {
+        let (mut p, mut r) = pipeline(80, 0.3);
+        p.run(30_000, &mut r);
+        let prog = p.progress();
+        assert!(
+            prog.digitized_fraction > 0.6,
+            "digitized {:.2}",
+            prog.digitized_fraction
+        );
+        assert!(prog.digitized_accuracy > 0.9);
+    }
+}

@@ -1,0 +1,561 @@
+//! Random matching and the replay-bot fallback.
+//!
+//! Output-agreement verification rests on partners being **strangers**:
+//! "random matching" is itself one of the paper's verification mechanisms,
+//! because colluders cannot agree out-of-band if they are never paired. The
+//! [`Matchmaker`] implements it: arrivals are paired with a *uniformly
+//! random* waiting player (optionally refusing immediate rematches), and a
+//! player who waits too long is handed to a **replay bot** — a recorded
+//! past session played back as the partner, exactly the single-player
+//! fallback the deployed ESP Game used at low-traffic hours (experiment
+//! F5 measures the fallback share as a function of arrival rate).
+
+use crate::id::PlayerId;
+use hc_sim::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration for the matchmaker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchmakerConfig {
+    /// How long a player may wait before falling back to a replay bot.
+    pub bot_fallback_wait: SimDuration,
+    /// Refuse to pair a player with the same partner twice in a row.
+    pub avoid_rematch: bool,
+}
+
+impl Default for MatchmakerConfig {
+    fn default() -> Self {
+        MatchmakerConfig {
+            bot_fallback_wait: SimDuration::from_secs(10),
+            avoid_rematch: true,
+        }
+    }
+}
+
+/// Whether a pairing is two live humans or human + recorded session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PairKind {
+    /// Two live players.
+    Live,
+    /// One live player with a replayed recorded session.
+    Replay,
+}
+
+/// Result of an arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchDecision {
+    /// Paired immediately with a waiting player (who waited `waited`).
+    Paired {
+        /// The partner drawn from the waiting pool.
+        partner: PlayerId,
+        /// How long that partner had been waiting.
+        waited: SimDuration,
+    },
+    /// Nobody suitable is waiting; the player was queued.
+    Queued,
+}
+
+/// Pairing statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchmakerStats {
+    /// Live pairs formed.
+    pub live_pairs: u64,
+    /// Replay-bot pairs formed.
+    pub replay_pairs: u64,
+    /// Players who abandoned the queue before being paired.
+    pub abandonments: u64,
+}
+
+impl MatchmakerStats {
+    /// Fraction of all pairs that needed the replay fallback.
+    #[must_use]
+    pub fn replay_share(&self) -> f64 {
+        let total = self.live_pairs + self.replay_pairs;
+        if total == 0 {
+            0.0
+        } else {
+            self.replay_pairs as f64 / total as f64
+        }
+    }
+}
+
+/// The waiting pool and pairing policy.
+///
+/// # Examples
+///
+/// ```
+/// use hc_core::prelude::*;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut mm = Matchmaker::new(MatchmakerConfig::default());
+/// assert_eq!(
+///     mm.on_arrival(SimTime::ZERO, PlayerId::new(1), &mut rng),
+///     MatchDecision::Queued
+/// );
+/// let decision = mm.on_arrival(SimTime::from_secs(2), PlayerId::new(2), &mut rng);
+/// assert!(matches!(decision, MatchDecision::Paired { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Matchmaker {
+    waiting: Vec<(SimTime, PlayerId)>,
+    last_partner: HashMap<PlayerId, PlayerId>,
+    config: MatchmakerConfig,
+    stats: MatchmakerStats,
+    wait_stats: hc_sim::OnlineStats,
+}
+
+impl Matchmaker {
+    /// Creates an empty matchmaker.
+    #[must_use]
+    pub fn new(config: MatchmakerConfig) -> Self {
+        Matchmaker {
+            waiting: Vec::new(),
+            last_partner: HashMap::new(),
+            config,
+            stats: MatchmakerStats::default(),
+            wait_stats: hc_sim::OnlineStats::new(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &MatchmakerConfig {
+        &self.config
+    }
+
+    /// Handles an arriving player: pairs with a random eligible waiter or
+    /// queues them.
+    pub fn on_arrival<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        player: PlayerId,
+        rng: &mut R,
+    ) -> MatchDecision {
+        // Collect eligible waiter indices: everyone except the player
+        // themself and — under strict rematch avoidance — their previous
+        // partner. A player whose only possible partner is their last one
+        // queues instead; the replay-bot fallback rescues them if nobody
+        // else shows up.
+        let last = self.last_partner.get(&player).copied();
+        let eligible: Vec<usize> = (0..self.waiting.len())
+            .filter(|&i| {
+                let candidate = self.waiting[i].1;
+                candidate != player && !(self.config.avoid_rematch && Some(candidate) == last)
+            })
+            .collect();
+        if eligible.is_empty() {
+            self.waiting.push((now, player));
+            return MatchDecision::Queued;
+        }
+        let pick = eligible[rng.gen_range(0..eligible.len())];
+        let (entered, partner) = self.waiting.swap_remove(pick);
+        let waited = now.saturating_since(entered);
+        self.wait_stats.push(waited.as_secs_f64());
+        self.last_partner.insert(player, partner);
+        self.last_partner.insert(partner, player);
+        self.stats.live_pairs += 1;
+        MatchDecision::Paired { partner, waited }
+    }
+
+    /// Removes and returns every player whose wait exceeds the bot-fallback
+    /// threshold as of `now`. The caller pairs each with a replay bot.
+    pub fn take_timed_out(&mut self, now: SimTime) -> Vec<PlayerId> {
+        let threshold = self.config.bot_fallback_wait;
+        let mut timed_out = Vec::new();
+        let mut kept = Vec::new();
+        for (entered, player) in self.waiting.drain(..) {
+            if now.saturating_since(entered) >= threshold {
+                self.wait_stats
+                    .push(now.saturating_since(entered).as_secs_f64());
+                self.stats.replay_pairs += 1;
+                timed_out.push(player);
+            } else {
+                kept.push((entered, player));
+            }
+        }
+        self.waiting = kept;
+        timed_out
+    }
+
+    /// Removes a queued player who quit before pairing. Returns `true` if
+    /// they were waiting.
+    pub fn abandon(&mut self, player: PlayerId) -> bool {
+        let before = self.waiting.len();
+        self.waiting.retain(|(_, p)| *p != player);
+        let removed = self.waiting.len() != before;
+        if removed {
+            self.stats.abandonments += 1;
+        }
+        removed
+    }
+
+    /// Number of players currently waiting.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Pairing statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> MatchmakerStats {
+        self.stats
+    }
+
+    /// Waiting-time statistics (seconds) over all resolved waits.
+    #[must_use]
+    pub fn wait_stats(&self) -> &hc_sim::OnlineStats {
+        &self.wait_stats
+    }
+}
+
+/// How a [`BatchMatcher`] pairs the players of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairingPolicy {
+    /// Pair players in arrival order (what a naive queue does). Two
+    /// colluders who press "play" at the same moment sit adjacent and get
+    /// each other with near-certainty — the attack surface the paper's
+    /// *random matching* exists to close.
+    Adjacent,
+    /// Shuffle the epoch before pairing (the deployed defense): a
+    /// colluder's chance of drawing their partner is `1/(n-1)` regardless
+    /// of arrival timing.
+    Random,
+}
+
+/// Epoch-based matchmaking: arrivals accumulate, then one call pairs the
+/// whole batch under a [`PairingPolicy`]. This is the matching model of
+/// busy portals (the deployed ESP Game matched in rounds); the streaming
+/// [`Matchmaker`] above models thin traffic.
+///
+/// # Examples
+///
+/// ```
+/// use hc_core::matchmaker::{BatchMatcher, PairingPolicy};
+/// use hc_core::PlayerId;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut m = BatchMatcher::new(PairingPolicy::Random);
+/// for i in 0..5 {
+///     m.join(PlayerId::new(i));
+/// }
+/// let pairs = m.pair_epoch(&mut rng);
+/// assert_eq!(pairs.len(), 2);
+/// assert_eq!(m.waiting(), 1); // odd player out carries to the next epoch
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchMatcher {
+    policy: PairingPolicy,
+    waiting: Vec<PlayerId>,
+    epochs: u64,
+    pairs_formed: u64,
+}
+
+impl BatchMatcher {
+    /// Creates an empty matcher with the given policy.
+    #[must_use]
+    pub fn new(policy: PairingPolicy) -> Self {
+        BatchMatcher {
+            policy,
+            waiting: Vec::new(),
+            epochs: 0,
+            pairs_formed: 0,
+        }
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> PairingPolicy {
+        self.policy
+    }
+
+    /// Adds a player to the current epoch (arrival order is preserved).
+    pub fn join(&mut self, player: PlayerId) {
+        self.waiting.push(player);
+    }
+
+    /// Players waiting for the next epoch.
+    #[must_use]
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Epochs run so far.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Pairs formed so far.
+    #[must_use]
+    pub fn pairs_formed(&self) -> u64 {
+        self.pairs_formed
+    }
+
+    /// Closes the epoch: pairs everyone waiting (per policy); an odd
+    /// player remains queued for the next epoch.
+    pub fn pair_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<(PlayerId, PlayerId)> {
+        self.epochs += 1;
+        if self.policy == PairingPolicy::Random {
+            // Fisher–Yates shuffle of the epoch.
+            for i in (1..self.waiting.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.waiting.swap(i, j);
+            }
+        }
+        let mut pairs = Vec::with_capacity(self.waiting.len() / 2);
+        let mut iter = std::mem::take(&mut self.waiting).into_iter();
+        loop {
+            match (iter.next(), iter.next()) {
+                (Some(a), Some(b)) => pairs.push((a, b)),
+                (Some(last), None) => {
+                    self.waiting.push(last);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.pairs_formed += pairs.len() as u64;
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn first_arrival_queues_second_pairs() {
+        let mut r = rng();
+        let mut mm = Matchmaker::new(MatchmakerConfig::default());
+        assert_eq!(
+            mm.on_arrival(t(0), PlayerId::new(1), &mut r),
+            MatchDecision::Queued
+        );
+        assert_eq!(mm.queue_len(), 1);
+        match mm.on_arrival(t(4), PlayerId::new(2), &mut r) {
+            MatchDecision::Paired { partner, waited } => {
+                assert_eq!(partner, PlayerId::new(1));
+                assert_eq!(waited, SimDuration::from_secs(4));
+            }
+            MatchDecision::Queued => panic!("expected pairing"),
+        }
+        assert_eq!(mm.queue_len(), 0);
+        assert_eq!(mm.stats().live_pairs, 1);
+        assert_eq!(mm.wait_stats().count(), 1);
+    }
+
+    #[test]
+    fn strict_rematch_avoidance_queues_instead() {
+        let mut r = rng();
+        let mut mm = Matchmaker::new(MatchmakerConfig::default());
+        // 1 and 2 get paired.
+        mm.on_arrival(t(0), PlayerId::new(1), &mut r);
+        mm.on_arrival(t(0), PlayerId::new(2), &mut r);
+        // 1 re-queues; 2 arrives but may not rematch — queues too.
+        assert_eq!(
+            mm.on_arrival(t(1), PlayerId::new(1), &mut r),
+            MatchDecision::Queued
+        );
+        assert_eq!(
+            mm.on_arrival(t(2), PlayerId::new(2), &mut r),
+            MatchDecision::Queued
+        );
+        assert_eq!(mm.queue_len(), 2);
+        // A third player pairs with either waiter.
+        assert!(matches!(
+            mm.on_arrival(t(3), PlayerId::new(3), &mut r),
+            MatchDecision::Paired { .. }
+        ));
+        assert_eq!(mm.queue_len(), 1);
+    }
+
+    #[test]
+    fn rematch_allowed_when_avoidance_disabled() {
+        let mut r = rng();
+        let cfg = MatchmakerConfig {
+            avoid_rematch: false,
+            ..MatchmakerConfig::default()
+        };
+        let mut mm = Matchmaker::new(cfg);
+        mm.on_arrival(t(0), PlayerId::new(1), &mut r);
+        mm.on_arrival(t(0), PlayerId::new(2), &mut r);
+        mm.on_arrival(t(1), PlayerId::new(1), &mut r);
+        match mm.on_arrival(t(2), PlayerId::new(2), &mut r) {
+            MatchDecision::Paired { partner, .. } => assert_eq!(partner, PlayerId::new(1)),
+            MatchDecision::Queued => panic!("expected pairing"),
+        }
+    }
+
+    #[test]
+    fn player_never_paired_with_self() {
+        let mut r = rng();
+        let mut mm = Matchmaker::new(MatchmakerConfig::default());
+        mm.on_arrival(t(0), PlayerId::new(1), &mut r);
+        // Same player arriving again (e.g. re-queue) must not self-pair.
+        assert_eq!(
+            mm.on_arrival(t(1), PlayerId::new(1), &mut r),
+            MatchDecision::Queued
+        );
+        assert_eq!(mm.queue_len(), 2);
+    }
+
+    #[test]
+    fn timeout_hands_players_to_replay_bots() {
+        let mut r = rng();
+        let cfg = MatchmakerConfig {
+            bot_fallback_wait: SimDuration::from_secs(10),
+            avoid_rematch: false,
+        };
+        let mut mm = Matchmaker::new(cfg);
+        mm.on_arrival(t(0), PlayerId::new(1), &mut r);
+        mm.on_arrival(t(5), PlayerId::new(1), &mut r); // second entry (same id allowed in queue)
+        assert!(mm.take_timed_out(t(9)).is_empty());
+        let out = mm.take_timed_out(t(10));
+        assert_eq!(out, vec![PlayerId::new(1)]);
+        assert_eq!(mm.queue_len(), 1, "the t=5 entry is still within threshold");
+        assert_eq!(mm.stats().replay_pairs, 1);
+        assert!((mm.stats().replay_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abandonment_removes_from_queue() {
+        let mut r = rng();
+        let mut mm = Matchmaker::new(MatchmakerConfig::default());
+        mm.on_arrival(t(0), PlayerId::new(1), &mut r);
+        assert!(mm.abandon(PlayerId::new(1)));
+        assert!(!mm.abandon(PlayerId::new(1)));
+        assert_eq!(mm.queue_len(), 0);
+        assert_eq!(mm.stats().abandonments, 1);
+    }
+
+    #[test]
+    fn random_pairing_spreads_partners() {
+        let mut r = rng();
+        let cfg = MatchmakerConfig {
+            avoid_rematch: false,
+            ..MatchmakerConfig::default()
+        };
+        let mut mm = Matchmaker::new(cfg);
+        // Fill the queue with 10 waiters, then pair 200 arrivals against a
+        // refilled pool and count partner diversity.
+        let mut partner_hist: HashMap<PlayerId, u32> = HashMap::new();
+        for trial in 0..200u64 {
+            for i in 0..10 {
+                mm.on_arrival(t(trial), PlayerId::new(100 + i), &mut r);
+            }
+            for i in 0..10 {
+                match mm.on_arrival(t(trial), PlayerId::new(200 + trial * 10 + i), &mut r) {
+                    MatchDecision::Paired { partner, .. } => {
+                        *partner_hist.entry(partner).or_insert(0) += 1;
+                    }
+                    MatchDecision::Queued => {}
+                }
+            }
+        }
+        // All 10 waiters should have been drawn at least once.
+        assert!(
+            partner_hist.len() >= 9,
+            "partners drawn: {}",
+            partner_hist.len()
+        );
+    }
+
+    #[test]
+    fn replay_share_zero_when_no_pairs() {
+        assert_eq!(MatchmakerStats::default().replay_share(), 0.0);
+    }
+
+    #[test]
+    fn batch_adjacent_pairs_in_arrival_order() {
+        let mut r = rng();
+        let mut m = BatchMatcher::new(PairingPolicy::Adjacent);
+        for i in 0..4 {
+            m.join(PlayerId::new(i));
+        }
+        let pairs = m.pair_epoch(&mut r);
+        assert_eq!(
+            pairs,
+            vec![
+                (PlayerId::new(0), PlayerId::new(1)),
+                (PlayerId::new(2), PlayerId::new(3)),
+            ]
+        );
+        assert_eq!(m.waiting(), 0);
+        assert_eq!(m.pairs_formed(), 2);
+        assert_eq!(m.epochs(), 1);
+        assert_eq!(m.policy(), PairingPolicy::Adjacent);
+    }
+
+    #[test]
+    fn batch_odd_player_carries_over() {
+        let mut r = rng();
+        let mut m = BatchMatcher::new(PairingPolicy::Adjacent);
+        for i in 0..5 {
+            m.join(PlayerId::new(i));
+        }
+        let pairs = m.pair_epoch(&mut r);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(m.waiting(), 1);
+        // The leftover joins the next epoch's pairing.
+        m.join(PlayerId::new(9));
+        let pairs = m.pair_epoch(&mut r);
+        assert_eq!(pairs, vec![(PlayerId::new(4), PlayerId::new(9))]);
+    }
+
+    #[test]
+    fn batch_random_breaks_adjacency() {
+        // Colluders always arrive adjacent (slots 0 and 1) in a 10-player
+        // epoch; random pairing should pair them ~1/9 of the time,
+        // adjacent pairing 100%.
+        let mut r = rng();
+        let trials = 2_000;
+        let mut together = [0u32; 2];
+        for (pi, policy) in [PairingPolicy::Adjacent, PairingPolicy::Random]
+            .into_iter()
+            .enumerate()
+        {
+            for _ in 0..trials {
+                let mut m = BatchMatcher::new(policy);
+                for i in 0..10 {
+                    m.join(PlayerId::new(i));
+                }
+                let pairs = m.pair_epoch(&mut r);
+                let colluders_paired = pairs
+                    .iter()
+                    .any(|(a, b)| (a.raw(), b.raw()) == (0, 1) || (a.raw(), b.raw()) == (1, 0));
+                if colluders_paired {
+                    together[pi] += 1;
+                }
+            }
+        }
+        assert_eq!(together[0], trials, "adjacent always pairs colluders");
+        let random_rate = f64::from(together[1]) / f64::from(trials);
+        assert!(
+            (random_rate - 1.0 / 9.0).abs() < 0.03,
+            "random colluder-pair rate {random_rate}"
+        );
+    }
+
+    #[test]
+    fn batch_empty_epoch_is_fine() {
+        let mut r = rng();
+        let mut m = BatchMatcher::new(PairingPolicy::Random);
+        assert!(m.pair_epoch(&mut r).is_empty());
+        m.join(PlayerId::new(1));
+        assert!(m.pair_epoch(&mut r).is_empty());
+        assert_eq!(m.waiting(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! GWAP evaluation metrics: throughput, ALP, expected contribution.
+//!
+//! The paper proposes exactly three numbers to compare games with a
+//! purpose:
+//!
+//! * **Throughput** — problem instances solved per *human-hour* of play.
+//!   Time is counted per participating human, so an hour of a two-player
+//!   game contributes two human-hours.
+//! * **ALP (average lifetime play)** — the expected total time a player
+//!   spends on the game over their lifetime; the "enjoyability" factor.
+//! * **Expected contribution** = throughput × ALP — the number of problem
+//!   instances one average recruit will ultimately solve, the headline
+//!   column of experiment T1.
+//!
+//! [`ContributionLedger`] accumulates play time and verified outputs and
+//! computes all three, preserving the accounting identity
+//! `expected_contribution = throughput × alp` exactly.
+
+use crate::id::PlayerId;
+use hc_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The paper's three metrics for one game.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GwapMetrics {
+    /// Verified problem instances per human-hour of play.
+    pub throughput_per_human_hour: f64,
+    /// Average lifetime play per player, in hours.
+    pub alp_hours: f64,
+    /// Expected verified instances contributed by one average player over
+    /// their lifetime (`throughput × ALP`).
+    pub expected_contribution: f64,
+    /// Total verified outputs counted.
+    pub total_outputs: u64,
+    /// Total human-hours counted.
+    pub total_human_hours: f64,
+    /// Distinct players counted.
+    pub player_count: u64,
+}
+
+impl std::fmt::Display for GwapMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "throughput={:.1}/h  ALP={:.1}min  expected contribution={:.0}",
+            self.throughput_per_human_hour,
+            self.alp_hours * 60.0,
+            self.expected_contribution
+        )
+    }
+}
+
+/// Accumulates per-player play time and verified outputs.
+///
+/// # Examples
+///
+/// ```
+/// use hc_core::{ContributionLedger, PlayerId};
+/// use hc_sim::SimDuration;
+///
+/// let mut ledger = ContributionLedger::new();
+/// // Two players play one hour together and verify 200 labels.
+/// ledger.record_play(PlayerId::new(1), SimDuration::from_hours(1));
+/// ledger.record_play(PlayerId::new(2), SimDuration::from_hours(1));
+/// ledger.record_outputs(200);
+///
+/// let m = ledger.metrics();
+/// assert!((m.throughput_per_human_hour - 100.0).abs() < 1e-9);
+/// assert!((m.alp_hours - 1.0).abs() < 1e-9);
+/// assert!((m.expected_contribution - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ContributionLedger {
+    play_time: HashMap<PlayerId, SimDuration>,
+    total_outputs: u64,
+}
+
+impl ContributionLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        ContributionLedger::default()
+    }
+
+    /// Adds play time for one player (call once per session per player).
+    pub fn record_play(&mut self, player: PlayerId, time: SimDuration) {
+        let entry = self.play_time.entry(player).or_insert(SimDuration::ZERO);
+        *entry += time;
+    }
+
+    /// Adds `n` verified outputs.
+    pub fn record_outputs(&mut self, n: u64) {
+        self.total_outputs += n;
+    }
+
+    /// Total verified outputs so far.
+    #[must_use]
+    pub fn total_outputs(&self) -> u64 {
+        self.total_outputs
+    }
+
+    /// Total human-hours so far.
+    #[must_use]
+    pub fn total_human_hours(&self) -> f64 {
+        self.play_time.values().map(|d| d.as_hours_f64()).sum()
+    }
+
+    /// Distinct players with any recorded time.
+    #[must_use]
+    pub fn player_count(&self) -> u64 {
+        self.play_time.len() as u64
+    }
+
+    /// Lifetime play of one player, if recorded.
+    #[must_use]
+    pub fn lifetime_of(&self, player: PlayerId) -> Option<SimDuration> {
+        self.play_time.get(&player).copied()
+    }
+
+    /// Computes the paper's three metrics. With no recorded time or no
+    /// players every rate is 0 (never NaN).
+    #[must_use]
+    pub fn metrics(&self) -> GwapMetrics {
+        let hours = self.total_human_hours();
+        let players = self.player_count();
+        let throughput = if hours > 0.0 {
+            self.total_outputs as f64 / hours
+        } else {
+            0.0
+        };
+        let alp = if players > 0 {
+            hours / players as f64
+        } else {
+            0.0
+        };
+        GwapMetrics {
+            throughput_per_human_hour: throughput,
+            alp_hours: alp,
+            expected_contribution: throughput * alp,
+            total_outputs: self.total_outputs,
+            total_human_hours: hours,
+            player_count: players,
+        }
+    }
+
+    /// Merges another ledger into this one (per-player times add).
+    pub fn merge(&mut self, other: &ContributionLedger) {
+        for (p, d) in &other.play_time {
+            self.record_play(*p, *d);
+        }
+        self.total_outputs += other.total_outputs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_contribution_equals_throughput_times_alp() {
+        let mut l = ContributionLedger::new();
+        for i in 0..10 {
+            l.record_play(PlayerId::new(i), SimDuration::from_mins(30 + i * 10));
+        }
+        l.record_outputs(1234);
+        let m = l.metrics();
+        assert!((m.expected_contribution - m.throughput_per_human_hour * m.alp_hours).abs() < 1e-9);
+        assert_eq!(m.total_outputs, 1234);
+        assert_eq!(m.player_count, 10);
+    }
+
+    #[test]
+    fn alp_is_mean_over_players() {
+        let mut l = ContributionLedger::new();
+        l.record_play(PlayerId::new(1), SimDuration::from_hours(2));
+        l.record_play(PlayerId::new(2), SimDuration::from_hours(4));
+        assert!((l.metrics().alp_hours - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_sessions_accumulate_per_player() {
+        let mut l = ContributionLedger::new();
+        l.record_play(PlayerId::new(1), SimDuration::from_mins(30));
+        l.record_play(PlayerId::new(1), SimDuration::from_mins(61));
+        assert_eq!(
+            l.lifetime_of(PlayerId::new(1)),
+            Some(SimDuration::from_mins(91))
+        );
+        assert_eq!(l.player_count(), 1);
+    }
+
+    #[test]
+    fn empty_ledger_is_all_zero() {
+        let m = ContributionLedger::new().metrics();
+        assert_eq!(m.throughput_per_human_hour, 0.0);
+        assert_eq!(m.alp_hours, 0.0);
+        assert_eq!(m.expected_contribution, 0.0);
+        assert!(!m.throughput_per_human_hour.is_nan());
+    }
+
+    #[test]
+    fn outputs_without_time_yield_zero_throughput() {
+        let mut l = ContributionLedger::new();
+        l.record_outputs(10);
+        let m = l.metrics();
+        assert_eq!(m.throughput_per_human_hour, 0.0);
+        assert_eq!(m.total_outputs, 10);
+    }
+
+    #[test]
+    fn merge_adds_per_player_and_outputs() {
+        let mut a = ContributionLedger::new();
+        a.record_play(PlayerId::new(1), SimDuration::from_hours(1));
+        a.record_outputs(5);
+        let mut b = ContributionLedger::new();
+        b.record_play(PlayerId::new(1), SimDuration::from_hours(1));
+        b.record_play(PlayerId::new(2), SimDuration::from_hours(2));
+        b.record_outputs(7);
+        a.merge(&b);
+        assert_eq!(a.total_outputs(), 12);
+        assert_eq!(a.player_count(), 2);
+        assert_eq!(
+            a.lifetime_of(PlayerId::new(1)),
+            Some(SimDuration::from_hours(2))
+        );
+        assert!((a.total_human_hours() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn esp_game_shaped_numbers() {
+        // Calibration sanity: 233 labels/human-hour and 91 min ALP must
+        // yield the paper's expected contribution (~353 labels/player).
+        let mut l = ContributionLedger::new();
+        l.record_play(PlayerId::new(1), SimDuration::from_mins(91));
+        l.record_outputs((233.0_f64 * 91.0 / 60.0).round() as u64);
+        let m = l.metrics();
+        assert!((m.expected_contribution - 353.0).abs() < 2.0, "{m}");
+    }
+
+    #[test]
+    fn metrics_display() {
+        let m = ContributionLedger::new().metrics();
+        assert!(m.to_string().contains("throughput"));
+    }
+}

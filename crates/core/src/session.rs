@@ -1,0 +1,344 @@
+//! Game sessions — timed sequences of rounds between two seats.
+//!
+//! A session is what a player experiences as "one game": in the deployed
+//! ESP Game, 2.5 minutes and up to 15 images with the same partner. The
+//! [`Session`] object tracks the budget (round count and wall clock),
+//! accumulates [`RoundRecord`]s, and finalizes into a
+//! [`SessionTranscript`] — the unit consumed by the metrics ledger and the
+//! anti-cheat layer.
+
+use crate::id::{PlayerId, SessionId, TaskId};
+use crate::scoring::ScoreRule;
+use crate::templates::TemplateKind;
+use hc_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Session-level parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Maximum rounds per session (ESP: 15 images).
+    pub max_rounds: u32,
+    /// Per-round time limit.
+    pub round_time_limit: SimDuration,
+    /// Whole-session wall-clock limit (ESP: 2.5 minutes).
+    pub session_time_limit: SimDuration,
+    /// Scoring rule applied to rounds.
+    pub score_rule: ScoreRule,
+}
+
+impl Default for SessionConfig {
+    /// The deployed ESP Game's published session shape.
+    fn default() -> Self {
+        SessionConfig {
+            max_rounds: 15,
+            round_time_limit: SimDuration::from_secs(150),
+            session_time_limit: SimDuration::from_secs(150),
+            score_rule: ScoreRule::default(),
+        }
+    }
+}
+
+/// What happened in one round, template-agnostic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Template the round used.
+    pub template: TemplateKind,
+    /// Primary task served (left seat's task for input-agreement rounds).
+    pub task: TaskId,
+    /// Whether the round reached its success condition.
+    pub matched: bool,
+    /// Candidate outputs the round produced (labels/tags/facts before
+    /// k-agreement promotion).
+    pub candidate_outputs: u32,
+    /// Wall time the round took.
+    pub duration: SimDuration,
+    /// Points awarded to each seat.
+    pub points: [u32; 2],
+}
+
+/// A live session.
+///
+/// # Examples
+///
+/// ```
+/// use hc_core::prelude::*;
+///
+/// let cfg = SessionConfig::default();
+/// let mut s = Session::new(
+///     SessionId::new(1),
+///     [PlayerId::new(1), PlayerId::new(2)],
+///     SimTime::ZERO,
+///     cfg,
+/// );
+/// assert!(s.can_play_more(SimTime::ZERO));
+/// s.record_round(RoundRecord {
+///     template: TemplateKind::OutputAgreement,
+///     task: TaskId::new(1),
+///     matched: true,
+///     candidate_outputs: 1,
+///     duration: SimDuration::from_secs(9),
+///     points: [130, 130],
+/// });
+/// let transcript = s.finish(SimTime::from_secs(9));
+/// assert_eq!(transcript.rounds(), 1);
+/// assert_eq!(transcript.matched_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    id: SessionId,
+    players: [PlayerId; 2],
+    started: SimTime,
+    config: SessionConfig,
+    records: Vec<RoundRecord>,
+}
+
+impl Session {
+    /// Opens a session between `players` at `started`.
+    #[must_use]
+    pub fn new(
+        id: SessionId,
+        players: [PlayerId; 2],
+        started: SimTime,
+        config: SessionConfig,
+    ) -> Self {
+        Session {
+            id,
+            players,
+            started,
+            config,
+            records: Vec::new(),
+        }
+    }
+
+    /// The session id.
+    #[must_use]
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The two seated players (left, right).
+    #[must_use]
+    pub fn players(&self) -> [PlayerId; 2] {
+        self.players
+    }
+
+    /// When the session started.
+    #[must_use]
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+
+    /// The active config.
+    #[must_use]
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Rounds recorded so far.
+    #[must_use]
+    pub fn rounds_played(&self) -> u32 {
+        self.records.len() as u32
+    }
+
+    /// Whether another round fits in the round and time budgets as of
+    /// `now`.
+    #[must_use]
+    pub fn can_play_more(&self, now: SimTime) -> bool {
+        self.rounds_played() < self.config.max_rounds
+            && now.saturating_since(self.started) < self.config.session_time_limit
+    }
+
+    /// Appends one round record.
+    pub fn record_round(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// Closes the session at `now` and produces the transcript.
+    #[must_use]
+    pub fn finish(self, now: SimTime) -> SessionTranscript {
+        let mut total_points = [0u64, 0u64];
+        for r in &self.records {
+            total_points[0] += u64::from(r.points[0]);
+            total_points[1] += u64::from(r.points[1]);
+        }
+        SessionTranscript {
+            id: self.id,
+            players: self.players,
+            started: self.started,
+            ended: now.max(self.started),
+            records: self.records,
+            total_points,
+        }
+    }
+}
+
+/// The immutable record of a completed session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionTranscript {
+    /// Session id.
+    pub id: SessionId,
+    /// The two seated players (left, right).
+    pub players: [PlayerId; 2],
+    /// Session start.
+    pub started: SimTime,
+    /// Session end.
+    pub ended: SimTime,
+    /// Every round, in play order.
+    pub records: Vec<RoundRecord>,
+    /// Total points per seat.
+    pub total_points: [u64; 2],
+}
+
+impl SessionTranscript {
+    /// Wall-clock length of the session.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.ended.saturating_since(self.started)
+    }
+
+    /// Number of rounds played.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of rounds that matched.
+    #[must_use]
+    pub fn matched_count(&self) -> usize {
+        self.records.iter().filter(|r| r.matched).count()
+    }
+
+    /// Fraction of rounds that matched (0 for an empty session).
+    #[must_use]
+    pub fn match_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.matched_count() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Total candidate outputs across rounds.
+    #[must_use]
+    pub fn candidate_outputs(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| u64::from(r.candidate_outputs))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(matched: bool, secs: u64) -> RoundRecord {
+        RoundRecord {
+            template: TemplateKind::OutputAgreement,
+            task: TaskId::new(1),
+            matched,
+            candidate_outputs: u32::from(matched),
+            duration: SimDuration::from_secs(secs),
+            points: [if matched { 100 } else { 5 }; 2],
+        }
+    }
+
+    #[test]
+    fn round_budget_is_enforced() {
+        let cfg = SessionConfig {
+            max_rounds: 2,
+            ..SessionConfig::default()
+        };
+        let mut s = Session::new(
+            SessionId::new(1),
+            [PlayerId::new(1), PlayerId::new(2)],
+            SimTime::ZERO,
+            cfg,
+        );
+        assert!(s.can_play_more(SimTime::ZERO));
+        s.record_round(record(true, 5));
+        assert!(s.can_play_more(SimTime::from_secs(5)));
+        s.record_round(record(false, 5));
+        assert!(!s.can_play_more(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn time_budget_is_enforced() {
+        let cfg = SessionConfig {
+            session_time_limit: SimDuration::from_secs(100),
+            ..SessionConfig::default()
+        };
+        let s = Session::new(
+            SessionId::new(1),
+            [PlayerId::new(1), PlayerId::new(2)],
+            SimTime::from_secs(50),
+            cfg,
+        );
+        assert!(s.can_play_more(SimTime::from_secs(149)));
+        assert!(!s.can_play_more(SimTime::from_secs(150)));
+        assert!(!s.can_play_more(SimTime::from_secs(1000)));
+    }
+
+    #[test]
+    fn transcript_aggregates() {
+        let mut s = Session::new(
+            SessionId::new(9),
+            [PlayerId::new(1), PlayerId::new(2)],
+            SimTime::from_secs(10),
+            SessionConfig::default(),
+        );
+        s.record_round(record(true, 10));
+        s.record_round(record(false, 20));
+        s.record_round(record(true, 30));
+        let t = s.finish(SimTime::from_secs(70));
+        assert_eq!(t.duration(), SimDuration::from_secs(60));
+        assert_eq!(t.rounds(), 3);
+        assert_eq!(t.matched_count(), 2);
+        assert!((t.match_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.candidate_outputs(), 2);
+        assert_eq!(t.total_points, [205, 205]);
+        assert_eq!(t.players, [PlayerId::new(1), PlayerId::new(2)]);
+    }
+
+    #[test]
+    fn empty_session_transcript() {
+        let s = Session::new(
+            SessionId::new(1),
+            [PlayerId::new(1), PlayerId::new(2)],
+            SimTime::ZERO,
+            SessionConfig::default(),
+        );
+        let t = s.finish(SimTime::ZERO);
+        assert_eq!(t.rounds(), 0);
+        assert_eq!(t.match_rate(), 0.0);
+        assert_eq!(t.duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn finish_clamps_backwards_clock() {
+        let s = Session::new(
+            SessionId::new(1),
+            [PlayerId::new(1), PlayerId::new(2)],
+            SimTime::from_secs(100),
+            SessionConfig::default(),
+        );
+        let t = s.finish(SimTime::from_secs(50)); // clock anomaly
+        assert_eq!(t.duration(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn accessors() {
+        let cfg = SessionConfig::default();
+        let s = Session::new(
+            SessionId::new(3),
+            [PlayerId::new(4), PlayerId::new(5)],
+            SimTime::from_secs(1),
+            cfg,
+        );
+        assert_eq!(s.id(), SessionId::new(3));
+        assert_eq!(s.players(), [PlayerId::new(4), PlayerId::new(5)]);
+        assert_eq!(s.started(), SimTime::from_secs(1));
+        assert_eq!(s.config().max_rounds, 15);
+        assert_eq!(s.rounds_played(), 0);
+    }
+}

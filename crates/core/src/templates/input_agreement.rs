@@ -1,0 +1,335 @@
+//! The input-agreement template (TagATune).
+//!
+//! Each seat receives an input that is either the **same** as or
+//! **different** from the partner's. Players exchange free-text
+//! descriptions of their own input, then each votes *same* or *different*.
+//! Both seats vote correctly ⇒ the round succeeds and every exchanged
+//! description is taken as a validated tag **for the input of the seat that
+//! produced it** — if the players could tell same from different through
+//! the descriptions alone, the descriptions must carry real information
+//! about the inputs.
+
+use crate::answer::{Answer, Label, Verdict};
+use crate::id::TaskId;
+use crate::templates::{Seat, SubmitOutcome};
+use hc_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Terminal summary of an input-agreement round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputAgreementResult {
+    /// The task shown to the left seat.
+    pub left_task: TaskId,
+    /// The task shown to the right seat (equal to `left_task` on "same"
+    /// rounds).
+    pub right_task: TaskId,
+    /// Ground truth: were the two inputs the same?
+    pub inputs_same: bool,
+    /// The verdicts cast, if both seats voted.
+    pub verdicts: [Option<Verdict>; 2],
+    /// Whether both seats voted and both were correct.
+    pub succeeded: bool,
+    /// Descriptions exchanged by each seat (normalized, deduplicated, in
+    /// order). Validated as tags only when `succeeded`.
+    pub descriptions: [Vec<Label>; 2],
+    /// `true` if the round ended by timeout before both votes were cast.
+    pub timed_out: bool,
+    /// Wall time consumed.
+    pub duration: SimDuration,
+}
+
+impl InputAgreementResult {
+    /// Tags validated by this round: `(task, label)` pairs, empty unless
+    /// the round succeeded.
+    #[must_use]
+    pub fn validated_tags(&self) -> Vec<(TaskId, Label)> {
+        if !self.succeeded {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for l in &self.descriptions[0] {
+            out.push((self.left_task, l.clone()));
+        }
+        for l in &self.descriptions[1] {
+            out.push((self.right_task, l.clone()));
+        }
+        out
+    }
+}
+
+/// A live input-agreement round.
+///
+/// # Examples
+///
+/// ```
+/// use hc_core::prelude::*;
+///
+/// let mut round = InputAgreementRound::new(
+///     TaskId::new(1), TaskId::new(1), // same clip on both sides
+///     SimDuration::from_secs(180),
+/// );
+/// let t = SimTime::ZERO;
+/// round.submit(Seat::Left, Answer::text("piano"), t);
+/// round.submit(Seat::Right, Answer::text("slow piano"), t);
+/// round.submit(Seat::Left, Answer::verdict(true), t);
+/// let out = round.submit(Seat::Right, Answer::verdict(true), t);
+/// assert!(matches!(out, SubmitOutcome::Matched(None)));
+/// let res = round.finish(t);
+/// assert!(res.succeeded);
+/// assert_eq!(res.validated_tags().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InputAgreementRound {
+    left_task: TaskId,
+    right_task: TaskId,
+    deadline: SimTime,
+    started: SimTime,
+    started_set: bool,
+    time_limit: SimDuration,
+    descriptions: [Vec<Label>; 2],
+    verdicts: [Option<Verdict>; 2],
+    over: bool,
+    ended_at: SimTime,
+}
+
+impl InputAgreementRound {
+    /// Starts a round where the left seat sees `left_task` and the right
+    /// seat `right_task` (pass the same id for a "same" round). The clock
+    /// starts at the first submission.
+    #[must_use]
+    pub fn new(left_task: TaskId, right_task: TaskId, time_limit: SimDuration) -> Self {
+        InputAgreementRound {
+            left_task,
+            right_task,
+            deadline: SimTime::MAX,
+            started: SimTime::ZERO,
+            started_set: false,
+            time_limit,
+            descriptions: [Vec::new(), Vec::new()],
+            verdicts: [None, None],
+            over: false,
+            ended_at: SimTime::ZERO,
+        }
+    }
+
+    /// Ground truth: do both seats see the same input?
+    #[must_use]
+    pub fn inputs_same(&self) -> bool {
+        self.left_task == self.right_task
+    }
+
+    /// Descriptions the partner of `seat` has sent so far — what a player
+    /// gets to see when deciding their verdict.
+    #[must_use]
+    pub fn partner_descriptions(&self, seat: Seat) -> &[Label] {
+        &self.descriptions[seat.other().index()]
+    }
+
+    /// `true` once the round has terminated.
+    #[must_use]
+    pub fn is_over(&self) -> bool {
+        self.over
+    }
+
+    /// Feeds one submission: text answers accumulate as descriptions;
+    /// verdict answers vote. The round terminates when both seats have
+    /// voted (outcome [`SubmitOutcome::Matched`] with no label — success is
+    /// reported by [`InputAgreementResult::succeeded`]).
+    pub fn submit(&mut self, seat: Seat, answer: Answer, at: SimTime) -> SubmitOutcome {
+        if self.over {
+            return SubmitOutcome::RoundOver;
+        }
+        if !self.started_set {
+            self.started = at;
+            self.started_set = true;
+            self.deadline = at + self.time_limit;
+        }
+        if at > self.deadline {
+            self.over = true;
+            self.ended_at = self.deadline;
+            return SubmitOutcome::RoundOver;
+        }
+        match answer {
+            Answer::Text(label) => {
+                if !label.is_empty() && !self.descriptions[seat.index()].contains(&label) {
+                    self.descriptions[seat.index()].push(label);
+                }
+                SubmitOutcome::Accepted
+            }
+            Answer::Verdict(v) => {
+                self.verdicts[seat.index()] = Some(v);
+                if self.verdicts[0].is_some() && self.verdicts[1].is_some() {
+                    self.over = true;
+                    self.ended_at = at;
+                    SubmitOutcome::Matched(None)
+                } else {
+                    SubmitOutcome::Accepted
+                }
+            }
+            Answer::Pass => SubmitOutcome::Accepted, // passing is implicit: just stop describing
+            _ => SubmitOutcome::WrongKind,
+        }
+    }
+
+    /// Closes the round at `now` and returns its result.
+    pub fn finish(&mut self, now: SimTime) -> InputAgreementResult {
+        if !self.over {
+            self.over = true;
+            self.ended_at = now.min(self.deadline);
+        }
+        let start = if self.started_set {
+            self.started
+        } else {
+            self.ended_at
+        };
+        let both_voted = self.verdicts[0].is_some() && self.verdicts[1].is_some();
+        let truth = self.inputs_same();
+        let succeeded = both_voted
+            && self
+                .verdicts
+                .iter()
+                .all(|v| v.map(|v| v.is_same() == truth).unwrap_or(false));
+        InputAgreementResult {
+            left_task: self.left_task,
+            right_task: self.right_task,
+            inputs_same: truth,
+            verdicts: self.verdicts,
+            succeeded,
+            descriptions: self.descriptions.clone(),
+            timed_out: !both_voted,
+            duration: self.ended_at.saturating_since(start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn same_round() -> InputAgreementRound {
+        InputAgreementRound::new(TaskId::new(1), TaskId::new(1), SimDuration::from_secs(180))
+    }
+
+    fn diff_round() -> InputAgreementRound {
+        InputAgreementRound::new(TaskId::new(1), TaskId::new(2), SimDuration::from_secs(180))
+    }
+
+    #[test]
+    fn correct_same_votes_succeed_and_validate_tags() {
+        let mut r = same_round();
+        r.submit(Seat::Left, Answer::text("guitar"), t(0));
+        r.submit(Seat::Right, Answer::text("acoustic guitar"), t(1));
+        r.submit(Seat::Left, Answer::verdict(true), t(2));
+        assert!(!r.is_over());
+        let out = r.submit(Seat::Right, Answer::verdict(true), t(3));
+        assert_eq!(out, SubmitOutcome::Matched(None));
+        let res = r.finish(t(3));
+        assert!(res.succeeded);
+        let tags = res.validated_tags();
+        assert_eq!(tags.len(), 2);
+        assert!(tags.contains(&(TaskId::new(1), Label::new("guitar"))));
+        assert_eq!(res.duration, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn correct_different_votes_succeed() {
+        let mut r = diff_round();
+        r.submit(Seat::Left, Answer::text("piano"), t(0));
+        r.submit(Seat::Right, Answer::text("drums"), t(0));
+        r.submit(Seat::Left, Answer::verdict(false), t(1));
+        r.submit(Seat::Right, Answer::verdict(false), t(1));
+        let res = r.finish(t(1));
+        assert!(res.succeeded);
+        assert!(!res.inputs_same);
+        // Tags attach to each seat's own task.
+        let tags = res.validated_tags();
+        assert!(tags.contains(&(TaskId::new(1), Label::new("piano"))));
+        assert!(tags.contains(&(TaskId::new(2), Label::new("drum"))));
+    }
+
+    #[test]
+    fn one_wrong_vote_fails_and_yields_no_tags() {
+        let mut r = same_round();
+        r.submit(Seat::Left, Answer::text("piano"), t(0));
+        r.submit(Seat::Left, Answer::verdict(true), t(1));
+        r.submit(Seat::Right, Answer::verdict(false), t(1));
+        let res = r.finish(t(1));
+        assert!(!res.succeeded);
+        assert!(res.validated_tags().is_empty());
+        assert!(
+            !res.timed_out,
+            "both voted; this is a wrong answer, not a timeout"
+        );
+    }
+
+    #[test]
+    fn timeout_without_votes_is_flagged() {
+        let mut r = same_round();
+        r.submit(Seat::Left, Answer::text("piano"), t(0));
+        assert_eq!(
+            r.submit(Seat::Right, Answer::verdict(true), t(500)),
+            SubmitOutcome::RoundOver
+        );
+        let res = r.finish(t(500));
+        assert!(res.timed_out);
+        assert!(!res.succeeded);
+    }
+
+    #[test]
+    fn partner_descriptions_are_visible() {
+        let mut r = same_round();
+        r.submit(Seat::Left, Answer::text("violin"), t(0));
+        assert_eq!(r.partner_descriptions(Seat::Right), &[Label::new("violin")]);
+        assert!(r.partner_descriptions(Seat::Left).is_empty());
+    }
+
+    #[test]
+    fn descriptions_dedupe_and_ignore_empties() {
+        let mut r = same_round();
+        r.submit(Seat::Left, Answer::text("flute"), t(0));
+        r.submit(Seat::Left, Answer::text("FLUTE"), t(1));
+        r.submit(Seat::Left, Answer::text("??"), t(2));
+        r.submit(Seat::Left, Answer::verdict(true), t(3));
+        r.submit(Seat::Right, Answer::verdict(true), t(3));
+        let res = r.finish(t(3));
+        assert_eq!(res.descriptions[0], vec![Label::new("flute")]);
+    }
+
+    #[test]
+    fn wrong_kinds_rejected_and_pass_tolerated() {
+        let mut r = same_round();
+        assert_eq!(
+            r.submit(Seat::Left, Answer::Choice(0), t(0)),
+            SubmitOutcome::WrongKind
+        );
+        assert_eq!(
+            r.submit(Seat::Left, Answer::Pass, t(0)),
+            SubmitOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn revoting_overwrites_before_completion() {
+        let mut r = same_round();
+        r.submit(Seat::Left, Answer::verdict(false), t(0));
+        r.submit(Seat::Left, Answer::verdict(true), t(1)); // reconsider
+        r.submit(Seat::Right, Answer::verdict(true), t(2));
+        let res = r.finish(t(2));
+        assert!(res.succeeded);
+    }
+
+    #[test]
+    fn submissions_after_completion_rejected() {
+        let mut r = same_round();
+        r.submit(Seat::Left, Answer::verdict(true), t(0));
+        r.submit(Seat::Right, Answer::verdict(true), t(0));
+        assert_eq!(
+            r.submit(Seat::Left, Answer::text("late"), t(1)),
+            SubmitOutcome::RoundOver
+        );
+    }
+}

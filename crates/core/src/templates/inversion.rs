@@ -1,0 +1,432 @@
+//! The inversion-problem template (Verbosity, Peekaboom).
+//!
+//! One seat — the **describer** — holds a secret input; the other — the
+//! **guesser** — must reproduce it from the describer's hints. A correct
+//! guess proves the hints carried enough information about the secret, so
+//! each hint becomes a validated `(secret, hint)` fact. In Verbosity the
+//! hints are templated commonsense clues ("it contains ___"); in Peekaboom
+//! the "hints" are revealed image regions and the validated output is the
+//! region covering the object.
+//!
+//! Roles alternate between rounds in the deployed games; the
+//! [`Session`](crate::session::Session) engine handles alternation.
+
+use crate::answer::{Answer, Label, Region};
+use crate::id::TaskId;
+use crate::templates::{Seat, SubmitOutcome};
+use hc_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which role a seat plays in an inversion round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Holds the secret and sends hints.
+    Describer,
+    /// Sees only hints and submits guesses.
+    Guesser,
+}
+
+/// A hint sent by the describer: either a free-text clue or a revealed
+/// region (Peekaboom).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Hint {
+    /// A textual clue (Verbosity sentence-template fill).
+    Clue(Label),
+    /// A revealed rectangular region of the stimulus (Peekaboom).
+    Reveal(Region),
+}
+
+/// Terminal summary of an inversion round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InversionResult {
+    /// The task the secret belongs to.
+    pub task: TaskId,
+    /// The secret the guesser had to reproduce.
+    pub secret: Label,
+    /// Whether the guesser succeeded.
+    pub guessed: bool,
+    /// Hints sent before the correct guess (all hints if never guessed).
+    pub hints: Vec<Hint>,
+    /// Distinct guesses attempted (normalized, in order).
+    pub guesses: Vec<Label>,
+    /// `true` if the round ended by timeout.
+    pub timed_out: bool,
+    /// `true` if the round ended because both seats passed.
+    pub both_passed: bool,
+    /// Wall time consumed.
+    pub duration: SimDuration,
+}
+
+impl InversionResult {
+    /// Facts validated by this round: `(secret, clue)` pairs from textual
+    /// hints, empty unless the guess succeeded.
+    #[must_use]
+    pub fn validated_facts(&self) -> Vec<(Label, Label)> {
+        if !self.guessed {
+            return Vec::new();
+        }
+        self.hints
+            .iter()
+            .filter_map(|h| match h {
+                Hint::Clue(c) => Some((self.secret.clone(), c.clone())),
+                Hint::Reveal(_) => None,
+            })
+            .collect()
+    }
+
+    /// The union bounding region of all reveals, if the round succeeded and
+    /// any region hints were sent (Peekaboom's verified object location).
+    #[must_use]
+    pub fn revealed_region(&self) -> Option<Region> {
+        if !self.guessed {
+            return None;
+        }
+        let mut regions = self.hints.iter().filter_map(|h| match h {
+            Hint::Reveal(r) => Some(*r),
+            Hint::Clue(_) => None,
+        });
+        let first = regions.next()?;
+        Some(regions.fold(first, |acc, r| {
+            let x1 = acc.x.min(r.x);
+            let y1 = acc.y.min(r.y);
+            let x2 = (acc.x + acc.w).max(r.x + r.w);
+            let y2 = (acc.y + acc.h).max(r.y + r.h);
+            Region::new(x1, y1, x2 - x1, y2 - y1)
+        }))
+    }
+}
+
+/// A live inversion round. The left seat is always the describer; callers
+/// that alternate roles swap which *player* sits left.
+///
+/// # Examples
+///
+/// ```
+/// use hc_core::prelude::*;
+///
+/// let mut round = InversionRound::new(
+///     TaskId::new(3),
+///     Label::new("milk"),
+///     SimDuration::from_secs(120),
+/// );
+/// let t = SimTime::ZERO;
+/// round.submit(Seat::Left, Answer::text("it is white"), t);
+/// round.submit(Seat::Right, Answer::text("snow"), t); // wrong guess
+/// let out = round.submit(Seat::Right, Answer::text("milk"), t);
+/// assert!(matches!(out, SubmitOutcome::Matched(Some(_))));
+/// let res = round.finish(t);
+/// assert_eq!(res.validated_facts().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InversionRound {
+    task: TaskId,
+    secret: Label,
+    deadline: SimTime,
+    started: SimTime,
+    started_set: bool,
+    time_limit: SimDuration,
+    hints: Vec<Hint>,
+    guesses: Vec<Label>,
+    guessed: bool,
+    passed: [bool; 2],
+    over: bool,
+    ended_at: SimTime,
+}
+
+impl InversionRound {
+    /// Starts a round: the describer (left seat) must get the guesser to
+    /// say `secret`. The clock starts at the first submission.
+    #[must_use]
+    pub fn new(task: TaskId, secret: Label, time_limit: SimDuration) -> Self {
+        InversionRound {
+            task,
+            secret,
+            deadline: SimTime::MAX,
+            started: SimTime::ZERO,
+            started_set: false,
+            time_limit,
+            hints: Vec::new(),
+            guesses: Vec::new(),
+            guessed: false,
+            passed: [false, false],
+            over: false,
+            ended_at: SimTime::ZERO,
+        }
+    }
+
+    /// The role of a seat in this round.
+    #[must_use]
+    pub fn role_of(&self, seat: Seat) -> Role {
+        match seat {
+            Seat::Left => Role::Describer,
+            Seat::Right => Role::Guesser,
+        }
+    }
+
+    /// Hints sent so far (what the guesser sees).
+    #[must_use]
+    pub fn hints(&self) -> &[Hint] {
+        &self.hints
+    }
+
+    /// `true` once the round has terminated.
+    #[must_use]
+    pub fn is_over(&self) -> bool {
+        self.over
+    }
+
+    /// Feeds one submission.
+    ///
+    /// * Describer text/region answers become hints — but a textual hint
+    ///   that *contains the secret itself* is rejected as
+    ///   [`SubmitOutcome::TabooViolation`] (the deployed games block the
+    ///   describer from just telling the answer).
+    /// * Guesser text answers are guesses; matching the secret terminates
+    ///   the round.
+    /// * Both seats passing abandons the round.
+    pub fn submit(&mut self, seat: Seat, answer: Answer, at: SimTime) -> SubmitOutcome {
+        if self.over {
+            return SubmitOutcome::RoundOver;
+        }
+        if !self.started_set {
+            self.started = at;
+            self.started_set = true;
+            self.deadline = at + self.time_limit;
+        }
+        if at > self.deadline {
+            self.over = true;
+            self.ended_at = self.deadline;
+            return SubmitOutcome::RoundOver;
+        }
+        match (self.role_of(seat), answer) {
+            (_, Answer::Pass) => {
+                self.passed[seat.index()] = true;
+                if self.passed[0] && self.passed[1] {
+                    self.over = true;
+                    self.ended_at = at;
+                    SubmitOutcome::BothPassed
+                } else {
+                    SubmitOutcome::Accepted
+                }
+            }
+            (Role::Describer, Answer::Text(clue)) => {
+                if clue.is_empty() {
+                    return SubmitOutcome::Accepted;
+                }
+                // Block hints that leak the secret verbatim.
+                if clue == self.secret
+                    || clue.as_str().split(' ').any(|w| w == self.secret.as_str())
+                {
+                    return SubmitOutcome::TabooViolation;
+                }
+                self.passed[seat.index()] = false;
+                self.hints.push(Hint::Clue(clue));
+                SubmitOutcome::Accepted
+            }
+            (Role::Describer, Answer::Region(r)) => {
+                self.passed[seat.index()] = false;
+                self.hints.push(Hint::Reveal(r));
+                SubmitOutcome::Accepted
+            }
+            (Role::Guesser, Answer::Text(guess)) => {
+                if guess.is_empty() {
+                    return SubmitOutcome::Accepted;
+                }
+                self.passed[seat.index()] = false;
+                if !self.guesses.contains(&guess) {
+                    self.guesses.push(guess.clone());
+                }
+                if guess == self.secret {
+                    self.guessed = true;
+                    self.over = true;
+                    self.ended_at = at;
+                    SubmitOutcome::Matched(Some(guess))
+                } else {
+                    SubmitOutcome::Accepted
+                }
+            }
+            _ => SubmitOutcome::WrongKind,
+        }
+    }
+
+    /// Closes the round at `now` and returns its result.
+    pub fn finish(&mut self, now: SimTime) -> InversionResult {
+        if !self.over {
+            self.over = true;
+            self.ended_at = now.min(self.deadline);
+        }
+        let start = if self.started_set {
+            self.started
+        } else {
+            self.ended_at
+        };
+        let both_passed = self.passed[0] && self.passed[1];
+        InversionResult {
+            task: self.task,
+            secret: self.secret.clone(),
+            guessed: self.guessed,
+            hints: self.hints.clone(),
+            guesses: self.guesses.clone(),
+            timed_out: !self.guessed && !both_passed,
+            both_passed,
+            duration: self.ended_at.saturating_since(start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn round(secret: &str) -> InversionRound {
+        InversionRound::new(
+            TaskId::new(1),
+            Label::new(secret),
+            SimDuration::from_secs(120),
+        )
+    }
+
+    #[test]
+    fn correct_guess_validates_facts() {
+        let mut r = round("milk");
+        r.submit(Seat::Left, Answer::text("it is white"), t(0));
+        r.submit(Seat::Left, Answer::text("you drink it"), t(5));
+        r.submit(Seat::Right, Answer::text("water"), t(8));
+        let out = r.submit(Seat::Right, Answer::text("Milk"), t(10));
+        assert_eq!(out, SubmitOutcome::Matched(Some(Label::new("milk"))));
+        let res = r.finish(t(10));
+        assert!(res.guessed);
+        assert_eq!(res.validated_facts().len(), 2);
+        assert_eq!(
+            res.validated_facts()[0],
+            (Label::new("milk"), Label::new("it is white"))
+        );
+        assert_eq!(res.guesses.len(), 2);
+        assert_eq!(res.duration, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn describer_cannot_leak_the_secret() {
+        let mut r = round("milk");
+        assert_eq!(
+            r.submit(Seat::Left, Answer::text("milk"), t(0)),
+            SubmitOutcome::TabooViolation
+        );
+        assert_eq!(
+            r.submit(Seat::Left, Answer::text("it is milk obviously"), t(0)),
+            SubmitOutcome::TabooViolation
+        );
+        // A non-leaking hint is fine.
+        assert_eq!(
+            r.submit(Seat::Left, Answer::text("cows make it"), t(0)),
+            SubmitOutcome::Accepted
+        );
+    }
+
+    #[test]
+    fn failed_round_validates_nothing() {
+        let mut r = round("milk");
+        r.submit(Seat::Left, Answer::text("white"), t(0));
+        r.submit(Seat::Right, Answer::text("snow"), t(1));
+        let res = r.finish(t(130)); // past deadline
+        assert!(!res.guessed);
+        assert!(res.timed_out);
+        assert!(res.validated_facts().is_empty());
+        assert!(res.revealed_region().is_none());
+    }
+
+    #[test]
+    fn region_hints_union_into_object_location() {
+        let mut r = round("car");
+        r.submit(
+            Seat::Left,
+            Answer::Region(Region::new(10, 10, 20, 20)),
+            t(0),
+        );
+        r.submit(Seat::Left, Answer::Region(Region::new(25, 5, 10, 10)), t(1));
+        r.submit(Seat::Right, Answer::text("car"), t(2));
+        let res = r.finish(t(2));
+        assert_eq!(res.revealed_region(), Some(Region::new(10, 5, 25, 25)));
+        assert!(
+            res.validated_facts().is_empty(),
+            "regions are not text facts"
+        );
+    }
+
+    #[test]
+    fn guesser_cannot_send_regions() {
+        let mut r = round("car");
+        assert_eq!(
+            r.submit(Seat::Right, Answer::Region(Region::new(0, 0, 1, 1)), t(0)),
+            SubmitOutcome::WrongKind
+        );
+    }
+
+    #[test]
+    fn both_pass_abandons() {
+        let mut r = round("zebra");
+        r.submit(Seat::Left, Answer::Pass, t(0));
+        assert_eq!(
+            r.submit(Seat::Right, Answer::Pass, t(1)),
+            SubmitOutcome::BothPassed
+        );
+        let res = r.finish(t(1));
+        assert!(res.both_passed);
+        assert!(!res.timed_out);
+    }
+
+    #[test]
+    fn activity_revokes_pass() {
+        let mut r = round("zebra");
+        r.submit(Seat::Left, Answer::Pass, t(0));
+        r.submit(Seat::Left, Answer::text("striped animal"), t(1));
+        assert_eq!(
+            r.submit(Seat::Right, Answer::Pass, t(2)),
+            SubmitOutcome::Accepted
+        );
+        assert!(!r.is_over());
+    }
+
+    #[test]
+    fn timeout_and_post_match_rejection() {
+        let mut r = round("sun");
+        r.submit(Seat::Left, Answer::text("bright"), t(0));
+        assert_eq!(
+            r.submit(Seat::Right, Answer::text("sun"), t(121)),
+            SubmitOutcome::RoundOver
+        );
+        let mut r2 = round("sun");
+        r2.submit(Seat::Right, Answer::text("sun"), t(0));
+        assert_eq!(
+            r2.submit(Seat::Left, Answer::text("late hint"), t(1)),
+            SubmitOutcome::RoundOver
+        );
+    }
+
+    #[test]
+    fn duplicate_guesses_are_deduped() {
+        let mut r = round("apple");
+        r.submit(Seat::Right, Answer::text("pear"), t(0));
+        r.submit(Seat::Right, Answer::text("PEAR"), t(1));
+        let res = r.finish(t(2));
+        assert_eq!(res.guesses, vec![Label::new("pear")]);
+    }
+
+    #[test]
+    fn roles_are_fixed_by_seat() {
+        let r = round("x");
+        assert_eq!(r.role_of(Seat::Left), Role::Describer);
+        assert_eq!(r.role_of(Seat::Right), Role::Guesser);
+    }
+
+    #[test]
+    fn hints_visible_to_guesser() {
+        let mut r = round("sky");
+        r.submit(Seat::Left, Answer::text("it is blue"), t(0));
+        assert_eq!(r.hints().len(), 1);
+    }
+}

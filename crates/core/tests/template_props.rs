@@ -1,0 +1,167 @@
+//! Property tests over the template state machines and verification
+//! layers beyond what the root-level suite covers: input-agreement and
+//! inversion rounds under arbitrary submission orders.
+
+use hc_core::prelude::*;
+use proptest::prelude::*;
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+proptest! {
+    // ---------- input-agreement ----------
+
+    #[test]
+    fn input_agreement_success_requires_both_correct_votes(
+        left_vote in any::<bool>(),
+        right_vote in any::<bool>(),
+        same in any::<bool>(),
+    ) {
+        let right_task = if same { TaskId::new(1) } else { TaskId::new(2) };
+        let mut round =
+            InputAgreementRound::new(TaskId::new(1), right_task, SimDuration::from_secs(100));
+        round.submit(Seat::Left, Answer::text("desc"), t(0));
+        round.submit(Seat::Left, Answer::verdict(left_vote), t(1));
+        round.submit(Seat::Right, Answer::verdict(right_vote), t(2));
+        let result = round.finish(t(3));
+        let expected = (left_vote == same) && (right_vote == same);
+        prop_assert_eq!(result.succeeded, expected);
+        // Tags only flow on success.
+        prop_assert_eq!(result.validated_tags().is_empty(), !expected || result.descriptions[0].is_empty() && result.descriptions[1].is_empty());
+    }
+
+    #[test]
+    fn input_agreement_tags_attach_to_the_right_task(
+        left_words in prop::collection::vec("[a-z]{2,6}", 0..4),
+        right_words in prop::collection::vec("[a-z]{2,6}", 0..4),
+    ) {
+        let (lt, rt) = (TaskId::new(10), TaskId::new(20));
+        let mut round = InputAgreementRound::new(lt, rt, SimDuration::from_secs(100));
+        for w in &left_words {
+            round.submit(Seat::Left, Answer::text(w), t(0));
+        }
+        for w in &right_words {
+            round.submit(Seat::Right, Answer::text(w), t(1));
+        }
+        round.submit(Seat::Left, Answer::verdict(false), t(2));
+        round.submit(Seat::Right, Answer::verdict(false), t(3));
+        let result = round.finish(t(4));
+        prop_assert!(result.succeeded, "different tasks, correct votes");
+        for (task, tag) in result.validated_tags() {
+            if left_words.iter().any(|w| Label::new(w) == tag) && task == lt {
+                continue;
+            }
+            if right_words.iter().any(|w| Label::new(w) == tag) && task == rt {
+                continue;
+            }
+            // A tag in both word lists may attach to either side.
+            let in_both = left_words.iter().any(|w| Label::new(w) == tag)
+                && right_words.iter().any(|w| Label::new(w) == tag);
+            prop_assert!(in_both, "tag {tag} attached to wrong task {task}");
+        }
+    }
+
+    // ---------- inversion ----------
+
+    #[test]
+    fn inversion_facts_only_flow_after_a_correct_guess(
+        hints in prop::collection::vec("[a-z]{2,6}", 1..5),
+        guesses in prop::collection::vec("[a-z]{2,6}", 0..5),
+        include_secret in any::<bool>(),
+    ) {
+        let secret = "zzsecret";
+        let mut round =
+            InversionRound::new(TaskId::new(1), Label::new(secret), SimDuration::from_secs(500));
+        let mut clock = 0;
+        for h in &hints {
+            round.submit(Seat::Left, Answer::text(h), t(clock));
+            clock += 1;
+        }
+        for g in &guesses {
+            round.submit(Seat::Right, Answer::text(g), t(clock));
+            clock += 1;
+        }
+        if include_secret {
+            round.submit(Seat::Right, Answer::text(secret), t(clock));
+        }
+        let result = round.finish(t(clock + 1));
+        prop_assert_eq!(result.guessed, include_secret);
+        if include_secret {
+            // Every validated fact pairs the secret with a sent hint.
+            for (s, clue) in result.validated_facts() {
+                prop_assert_eq!(s, Label::new(secret));
+                prop_assert!(hints.iter().any(|h| Label::new(h) == clue));
+            }
+        } else {
+            prop_assert!(result.validated_facts().is_empty());
+        }
+    }
+
+    #[test]
+    fn inversion_never_accepts_leaky_hints(secret in "[a-z]{3,8}") {
+        let mut round = InversionRound::new(
+            TaskId::new(1),
+            Label::new(&secret),
+            SimDuration::from_secs(100),
+        );
+        // The secret itself and sentences containing it are rejected.
+        prop_assert_eq!(
+            round.submit(Seat::Left, Answer::text(&secret), t(0)),
+            SubmitOutcome::TabooViolation
+        );
+        let leaky = format!("it is {secret} yes");
+        prop_assert_eq!(
+            round.submit(Seat::Left, Answer::text(&leaky), t(0)),
+            SubmitOutcome::TabooViolation
+        );
+        prop_assert!(round.hints().is_empty());
+    }
+
+    // ---------- gold bank ----------
+
+    #[test]
+    fn gold_trust_gate_is_threshold_exact(
+        hits in 0u32..20,
+        misses in 0u32..20,
+        min_acc in 0.0f64..1.0,
+    ) {
+        let evidence = 1;
+        let mut bank = GoldBank::new(min_acc, evidence);
+        bank.add_gold(TaskId::new(1), [Label::new("good")]);
+        let p = PlayerId::new(1);
+        for _ in 0..hits {
+            bank.check(p, TaskId::new(1), &Label::new("good"));
+        }
+        for _ in 0..misses {
+            bank.check(p, TaskId::new(1), &Label::new("bad"));
+        }
+        let total = hits + misses;
+        let trusted = bank.is_trusted(p);
+        if total == 0 {
+            prop_assert!(trusted, "no evidence keeps trust");
+        } else {
+            let acc = f64::from(hits) / f64::from(total);
+            prop_assert_eq!(trusted, acc >= min_acc);
+        }
+    }
+
+    // ---------- leaderboard ----------
+
+    #[test]
+    fn leaderboard_is_sorted_and_truncated(
+        scores in prop::collection::vec((0u64..50, any::<bool>()), 0..60),
+        top_n in 0usize..20,
+    ) {
+        let mut board = Scoreboard::new(ScoreRule::default());
+        for (p, matched) in &scores {
+            board.record_round(PlayerId::new(*p), *matched, 30.0);
+        }
+        let lb = board.leaderboard(top_n);
+        prop_assert!(lb.len() <= top_n);
+        let entries = lb.entries();
+        for w in entries.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1, "not sorted: {entries:?}");
+        }
+    }
+}

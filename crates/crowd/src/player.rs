@@ -1,0 +1,91 @@
+//! Per-player profiles.
+
+use crate::behavior::Behavior;
+use crate::response::ResponseTimeModel;
+use hc_core::PlayerId;
+use serde::{Deserialize, Serialize};
+
+/// Everything the simulation knows about one player.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlayerProfile {
+    /// Platform identity.
+    pub id: PlayerId,
+    /// Perceptual/linguistic skill in `[0, 1]`: drives verdict accuracy
+    /// and inversion-guess quality.
+    pub skill: f64,
+    /// Answer policy.
+    pub behavior: Behavior,
+    /// Latency model for producing answers.
+    pub response: ResponseTimeModel,
+}
+
+impl PlayerProfile {
+    /// Creates a profile, clamping `skill` into `[0, 1]`.
+    #[must_use]
+    pub fn new(id: PlayerId, skill: f64, behavior: Behavior, response: ResponseTimeModel) -> Self {
+        PlayerProfile {
+            id,
+            skill: if skill.is_finite() {
+                skill.clamp(0.0, 1.0)
+            } else {
+                0.5
+            },
+            behavior,
+            response,
+        }
+    }
+
+    /// Archetype name of the player's behaviour.
+    #[must_use]
+    pub fn archetype(&self) -> &'static str {
+        self.behavior.name()
+    }
+
+    /// `true` when the player models a deliberate attacker.
+    #[must_use]
+    pub fn is_adversarial(&self) -> bool {
+        self.behavior.is_adversarial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skill_is_clamped() {
+        let p = PlayerProfile::new(
+            PlayerId::new(1),
+            1.7,
+            Behavior::Honest,
+            ResponseTimeModel::default(),
+        );
+        assert_eq!(p.skill, 1.0);
+        let p = PlayerProfile::new(
+            PlayerId::new(1),
+            f64::NAN,
+            Behavior::Honest,
+            ResponseTimeModel::default(),
+        );
+        assert_eq!(p.skill, 0.5);
+        let p = PlayerProfile::new(
+            PlayerId::new(1),
+            -3.0,
+            Behavior::Honest,
+            ResponseTimeModel::default(),
+        );
+        assert_eq!(p.skill, 0.0);
+    }
+
+    #[test]
+    fn archetype_passthrough() {
+        let p = PlayerProfile::new(
+            PlayerId::new(1),
+            0.8,
+            Behavior::Random,
+            ResponseTimeModel::default(),
+        );
+        assert_eq!(p.archetype(), "random");
+        assert!(!p.is_adversarial());
+    }
+}

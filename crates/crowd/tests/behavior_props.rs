@@ -1,0 +1,137 @@
+//! Property tests over the crowd substrate: behaviours, populations and
+//! engagement must satisfy their contracts for *all* parameters.
+
+use hc_core::{Answer, Label, TabooList};
+use hc_crowd::{
+    ArchetypeMix, Behavior, EngagementModel, LabelDistribution, PopulationBuilder,
+    ResponseTimeModel, SkillDynamics, Vocabulary,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn truth() -> LabelDistribution {
+    LabelDistribution::new(vec![
+        (Label::new("alpha"), 0.5),
+        (Label::new("beta"), 0.3),
+        (Label::new("gamma"), 0.2),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn honest_answers_never_violate_taboo(seed in 0u64..500) {
+        let mut b = Behavior::Honest;
+        let t = truth();
+        let vocab = Vocabulary::new(50, 1.0);
+        let taboo = TabooList::from_labels([Label::new("alpha")]);
+        let mut r = rng(seed);
+        for _ in 0..50 {
+            if let Answer::Text(l) = b.next_answer(&t, &vocab, &taboo, &mut r) {
+                prop_assert!(!taboo.contains(&l));
+                prop_assert!(t.contains(&l), "honest answers stay truthful");
+            }
+        }
+    }
+
+    #[test]
+    fn colluders_are_perfectly_predictable(seed in 0u64..100, word in "[a-z]{1,8}") {
+        let mut b = Behavior::Colluder { strategy_label: Label::new(&word) };
+        let t = truth();
+        let vocab = Vocabulary::new(50, 1.0);
+        let mut r = rng(seed);
+        for _ in 0..10 {
+            prop_assert_eq!(
+                b.next_answer(&t, &vocab, &TabooList::new(), &mut r),
+                Answer::Text(Label::new(&word))
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_is_always_a_verdict_or_deterministically_shaped(
+        seed in 0u64..100,
+        p_same in 0.0f64..1.0,
+        skill in 0.0f64..1.0,
+    ) {
+        let mut r = rng(seed);
+        for mut b in [
+            Behavior::Honest,
+            Behavior::Random,
+            Behavior::Noisy { error_rate: 0.5 },
+        ] {
+            let v = b.verdict(p_same, skill, &mut r);
+            prop_assert!(matches!(v, Answer::Verdict(_)));
+        }
+    }
+
+    #[test]
+    fn population_sizes_and_ids_are_exact(n in 0usize..200, first in 0u64..1000) {
+        let pop = PopulationBuilder::new(n).first_id(first).build(&mut rng(1));
+        prop_assert_eq!(pop.len(), n);
+        for (i, p) in pop.players().iter().enumerate() {
+            prop_assert_eq!(p.id.raw(), first + i as u64);
+            prop_assert!((0.0..=1.0).contains(&p.skill));
+        }
+    }
+
+    #[test]
+    fn colluder_share_matches_mix(share in 0.0f64..1.0, seed in 0u64..50) {
+        let mix = ArchetypeMix::with_colluders(1.0 - share, share, "x");
+        let pop = PopulationBuilder::new(500).mix(mix).build(&mut rng(seed));
+        let measured = pop.adversarial_share();
+        prop_assert!((measured - share).abs() < 0.08, "share {share} measured {measured}");
+    }
+
+    #[test]
+    fn engagement_lifetimes_are_positive_and_finite(
+        median in 0.5f64..30.0,
+        sigma in 0.0f64..1.5,
+        churn in 0.01f64..1.0,
+        seed in 0u64..50,
+    ) {
+        let m = EngagementModel::new(median.ln(), sigma, churn).unwrap();
+        let mut r = rng(seed);
+        let plan = m.sample_lifetime(&mut r);
+        prop_assert!(plan.session_count() >= 1);
+        prop_assert!(plan.total_play().as_secs_f64() > 0.0);
+        prop_assert!(m.expected_alp_hours() > 0.0);
+    }
+
+    #[test]
+    fn response_latency_is_bounded_below(seed in 0u64..200) {
+        let m = ResponseTimeModel::default();
+        let mut r = rng(seed);
+        let l = m.sample(Some(&Label::new("word")), &mut r);
+        prop_assert!(l.as_secs_f64() >= 0.05);
+    }
+
+    #[test]
+    fn effective_skill_is_always_in_unit_interval(
+        base in -0.5f64..1.5,
+        rounds in 0u64..100_000,
+        minutes in 0.0f64..10_000.0,
+    ) {
+        let d = SkillDynamics::default();
+        let e = d.effective_skill(base.clamp(0.0, 1.0), rounds, minutes);
+        prop_assert!((0.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn learning_multiplier_is_monotone_in_rounds(r1 in 0u64..10_000, r2 in 0u64..10_000) {
+        let d = SkillDynamics::default();
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(d.learning_multiplier(lo) <= d.learning_multiplier(hi) + 1e-12);
+    }
+
+    #[test]
+    fn fatigue_multiplier_is_monotone_in_minutes(m1 in 0.0f64..1000.0, m2 in 0.0f64..1000.0) {
+        let d = SkillDynamics::default();
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        prop_assert!(d.fatigue_multiplier(lo) >= d.fatigue_multiplier(hi) - 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests over the game worlds: the synthetic ground truth every
+//! experiment scores against must itself be well-formed for all shapes.
+
+use hc_core::{Label, TaskId};
+use hc_games::verbosity::{fact_label, parse_fact, Relation};
+use hc_games::{
+    world::{BaseWorld, WorldConfig},
+    EspWorld, MatchinWorld, PeekaboomWorld, SquiglWorld, TagATuneWorld, VerbosityWorld,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn config(stimuli: usize, vocab: usize, cmin: usize, cmax: usize) -> WorldConfig {
+    WorldConfig {
+        stimuli,
+        vocabulary: vocab,
+        zipf_exponent: 1.0,
+        concepts_min: cmin,
+        concepts_max: cmax,
+        weight_decay: 0.55,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn base_world_truths_are_normalized_distributions(
+        stimuli in 1usize..40,
+        vocab in 20usize..200,
+        seed in 0u64..100,
+    ) {
+        let cfg = config(stimuli, vocab, 2, 5.min(vocab));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let world = BaseWorld::generate(&cfg, &mut rng);
+        prop_assert_eq!(world.len(), stimuli);
+        for truth in &world.truths {
+            let total: f64 = truth.labels().iter().map(|l| truth.pmf_of(l)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!((2..=5).contains(&truth.len()));
+            // The oracle accepts exactly the support.
+            for l in truth.labels() {
+                prop_assert!(truth.contains(l));
+            }
+            prop_assert!(!truth.contains(&Label::new("zz-not-a-word")));
+        }
+    }
+
+    #[test]
+    fn esp_world_task_mapping_is_total(seed in 0u64..50) {
+        let cfg = config(25, 100, 2, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let world = EspWorld::generate(&cfg, &mut rng);
+        for i in 0..world.len() {
+            let task = TaskId::new(i as u64);
+            let truth = world.truth_for_task(task).expect("in-range task");
+            prop_assert!(world.is_correct(task, truth.top()));
+        }
+        prop_assert!(world.truth_for_task(TaskId::new(world.len() as u64)).is_none());
+    }
+
+    #[test]
+    fn verbosity_candidates_sharpen_monotonically(
+        seed in 0u64..50,
+        h1 in 1usize..8,
+        h2 in 1usize..8,
+    ) {
+        let cfg = config(10, 100, 2, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let world = VerbosityWorld::generate(&cfg, &mut rng);
+        let task = TaskId::new(0);
+        let secret = world.secret_for_task(task).unwrap().clone();
+        let (lo, hi) = if h1 <= h2 { (h1, h2) } else { (h2, h1) };
+        let p_lo = world.guess_candidates(task, lo, 5).unwrap().pmf_of(&secret);
+        let p_hi = world.guess_candidates(task, hi, 5).unwrap().pmf_of(&secret);
+        prop_assert!(p_lo <= p_hi + 1e-12);
+    }
+
+    #[test]
+    fn verbosity_fact_labels_always_parse(obj in "[a-z]{1,10}( [a-z]{1,6})?") {
+        for relation in Relation::ALL {
+            let label = Label::new(&obj);
+            prop_assume!(!label.is_empty());
+            let fact = fact_label(relation, &label);
+            let (r, o) = parse_fact(&fact).expect("round trip");
+            prop_assert_eq!(r, relation);
+            prop_assert_eq!(o, label);
+        }
+    }
+
+    #[test]
+    fn spatial_world_objects_fit_their_canvases(seed in 0u64..50) {
+        let cfg = config(30, 100, 2, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let peek = PeekaboomWorld::generate(&cfg, &mut rng);
+        for i in 0..peek.len() {
+            let o = peek.object_for_task(TaskId::new(i as u64)).unwrap();
+            prop_assert!(o.bbox.x + o.bbox.w <= hc_games::peekaboom::CANVAS_W);
+            prop_assert!(o.bbox.y + o.bbox.h <= hc_games::peekaboom::CANVAS_H);
+            prop_assert!(o.bbox.area() > 0);
+        }
+        let squigl = SquiglWorld::generate(&cfg, &mut rng);
+        for i in 0..squigl.len() {
+            let o = squigl.object_for_task(TaskId::new(i as u64)).unwrap();
+            prop_assert!(o.bbox.x + o.bbox.w <= hc_games::squigl::CANVAS_W);
+            prop_assert!(o.bbox.y + o.bbox.h <= hc_games::squigl::CANVAS_H);
+        }
+    }
+
+    #[test]
+    fn matchin_preferences_are_complementary(
+        seed in 0u64..50,
+        a in 0usize..20,
+        b in 0usize..20,
+        skill in 0.0f64..1.0,
+    ) {
+        let cfg = config(20, 100, 2, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let world = MatchinWorld::generate(&cfg, &mut rng);
+        let p_ab = world.prefer_probability(a, b, skill);
+        let p_ba = world.prefer_probability(b, a, skill);
+        prop_assert!((p_ab + p_ba - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p_ab));
+    }
+
+    #[test]
+    fn tagatune_same_evidence_is_bounded(
+        seed in 0u64..50,
+        i in 0usize..20,
+        j in 0usize..20,
+    ) {
+        let cfg = config(20, 100, 2, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let world = TagATuneWorld::generate(&cfg, &mut rng);
+        let own = world.truth_for_task(TaskId::new(i as u64)).unwrap();
+        let partner = world.truth_for_task(TaskId::new(j as u64)).unwrap();
+        let e = TagATuneWorld::same_evidence(own, partner.labels());
+        prop_assert!((0.0..=1.0).contains(&e));
+        // Evidence from one's own clip truths is maximal.
+        let self_e = TagATuneWorld::same_evidence(own, own.labels());
+        prop_assert!(self_e >= e - 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! # hc-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate under every experiment in the
+//! `human-computation` workspace. The systems surveyed by the target paper
+//! ("Human Computation", DAC 2009) were deployed as live web services with
+//! real players; reproducing their *behavioural* results does not require
+//! HTTP plumbing, only a faithful model of **when** players arrive, **how
+//! long** they stay, and **in what order** platform events fire. A
+//! discrete-event simulation (DES) kernel provides exactly that, with two
+//! properties a live deployment cannot offer:
+//!
+//! * **Determinism** — every run is a pure function of its seed, so every
+//!   table and figure in `EXPERIMENTS.md` regenerates bit-identically.
+//! * **Time compression** — months of simulated play complete in seconds,
+//!   which is what makes lifetime-play (ALP) measurements tractable.
+//!
+//! ## Module map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`time`] | [`SimTime`]/[`SimDuration`] — microsecond-resolution virtual clock types |
+//! | [`event`] | [`EventQueue`] — a stable priority queue of timestamped events |
+//! | [`rng`] | [`RngFactory`] — deterministic derivation of independent RNG streams |
+//! | [`dist`] | Distributions not in `rand` core: exponential, log-normal, Zipf, geometric, discrete |
+//! | [`arrival`] | Poisson and diurnal arrival processes |
+//! | [`stats`] | Online statistics: Welford mean/variance, histograms, percentiles, confidence intervals |
+//! | [`queue`] | FIFO waiting queues with sojourn-time accounting |
+//! | [`runner`] | [`Simulation`] — a minimal driver looping an [`EventQueue`] to completion |
+//!
+//! ## Example
+//!
+//! ```
+//! use hc_sim::prelude::*;
+//!
+//! // Deterministic two-stream simulation: arrivals + a measurement.
+//! let factory = RngFactory::new(42);
+//! let mut rng = factory.stream("arrivals");
+//! let arrivals = PoissonProcess::new(2.0); // 2 events per simulated second
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//!
+//! let mut t = SimTime::ZERO;
+//! for _ in 0..10 {
+//!     t = arrivals.next_after(t, &mut rng);
+//!     queue.push(t, "player-arrival");
+//! }
+//! let mut stats = OnlineStats::new();
+//! let mut last = SimTime::ZERO;
+//! while let Some((when, _ev)) = queue.pop() {
+//!     stats.push((when - last).as_secs_f64());
+//!     last = when;
+//! }
+//! // Inter-arrival mean is ~1/rate.
+//! assert!(stats.mean() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrival;
+pub mod dist;
+pub mod event;
+pub mod queue;
+pub mod rng;
+pub mod runner;
+pub mod stats;
+pub mod time;
+pub mod timeseries;
+
+pub use arrival::{ArrivalProcess, DiurnalProcess, PoissonProcess};
+pub use dist::{Bernoulli, DiscreteDist, Exponential, Geometric, LogNormal, UniformRange, Zipf};
+pub use event::EventQueue;
+pub use queue::FifoQueue;
+pub use rng::{RngFactory, SimRng};
+pub use runner::{Simulation, StepOutcome};
+pub use stats::{ConfidenceInterval, Histogram, OnlineStats, SampleSet};
+pub use time::{SimDuration, SimTime};
+pub use timeseries::{GaugeSeries, RateSeries};
+
+/// Convenience re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::arrival::{ArrivalProcess, DiurnalProcess, PoissonProcess};
+    pub use crate::dist::{
+        Bernoulli, DiscreteDist, Exponential, Geometric, LogNormal, UniformRange, Zipf,
+    };
+    pub use crate::event::EventQueue;
+    pub use crate::queue::FifoQueue;
+    pub use crate::rng::{RngFactory, SimRng};
+    pub use crate::runner::{Simulation, StepOutcome};
+    pub use crate::stats::{ConfidenceInterval, Histogram, OnlineStats, SampleSet};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::timeseries::{GaugeSeries, RateSeries};
+    pub use rand::Rng;
+}

@@ -1,0 +1,185 @@
+//! FIFO waiting queues with sojourn-time accounting.
+//!
+//! The matchmaker (hc-core) holds players in a waiting queue until a partner
+//! arrives; experiment F5 reports the waiting-time distribution. This queue
+//! timestamps entries on `enqueue` and reports the waited duration on
+//! `dequeue`, feeding an [`OnlineStats`]-style
+//! accumulator without the caller having to track instants.
+
+use crate::stats::OnlineStats;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// A FIFO queue of items with enqueue timestamps and waiting statistics.
+///
+/// # Examples
+///
+/// ```
+/// use hc_sim::{FifoQueue, SimTime};
+///
+/// let mut q = FifoQueue::new();
+/// q.enqueue(SimTime::from_secs(1), "alice");
+/// q.enqueue(SimTime::from_secs(2), "bob");
+/// let (who, waited) = q.dequeue(SimTime::from_secs(5)).unwrap();
+/// assert_eq!(who, "alice");
+/// assert_eq!(waited.as_secs_f64(), 4.0);
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoQueue<T> {
+    items: VecDeque<(SimTime, T)>,
+    wait_stats: OnlineStats,
+    peak_len: usize,
+}
+
+impl<T> Default for FifoQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FifoQueue<T> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        FifoQueue {
+            items: VecDeque::new(),
+            wait_stats: OnlineStats::new(),
+            peak_len: 0,
+        }
+    }
+
+    /// Appends `item` at time `now`.
+    pub fn enqueue(&mut self, now: SimTime, item: T) {
+        self.items.push_back((now, item));
+        self.peak_len = self.peak_len.max(self.items.len());
+    }
+
+    /// Removes the oldest item at time `now`, returning it with the duration
+    /// it waited. Returns `None` when empty.
+    pub fn dequeue(&mut self, now: SimTime) -> Option<(T, SimDuration)> {
+        let (entered, item) = self.items.pop_front()?;
+        let waited = now.saturating_since(entered);
+        self.wait_stats.push(waited.as_secs_f64());
+        Some((item, waited))
+    }
+
+    /// Removes a specific item matching `pred` (first match), *without*
+    /// recording a wait — used for abandonment (a queued player quits).
+    pub fn remove_where<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<(SimTime, T)> {
+        let idx = self.items.iter().position(|(_, item)| pred(item))?;
+        self.items.remove(idx)
+    }
+
+    /// How long the oldest entry has been waiting as of `now`.
+    #[must_use]
+    pub fn head_wait(&self, now: SimTime) -> Option<SimDuration> {
+        self.items
+            .front()
+            .map(|(entered, _)| now.saturating_since(*entered))
+    }
+
+    /// Current queue length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Largest length the queue ever reached.
+    #[must_use]
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Waiting-time statistics (seconds) across completed dequeues.
+    #[must_use]
+    pub fn wait_stats(&self) -> &OnlineStats {
+        &self.wait_stats
+    }
+
+    /// Iterates over waiting items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(_, item)| item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = FifoQueue::new();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            q.enqueue(t(i as u64), *name);
+        }
+        assert_eq!(q.dequeue(t(10)).unwrap().0, "a");
+        assert_eq!(q.dequeue(t(10)).unwrap().0, "b");
+        assert_eq!(q.dequeue(t(10)).unwrap().0, "c");
+        assert!(q.dequeue(t(10)).is_none());
+    }
+
+    #[test]
+    fn wait_times_accumulate() {
+        let mut q = FifoQueue::new();
+        q.enqueue(t(0), 1);
+        q.enqueue(t(2), 2);
+        q.dequeue(t(4)); // waited 4
+        q.dequeue(t(4)); // waited 2
+        assert_eq!(q.wait_stats().count(), 2);
+        assert!((q.wait_stats().mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn head_wait_reports_oldest() {
+        let mut q = FifoQueue::new();
+        assert_eq!(q.head_wait(t(5)), None);
+        q.enqueue(t(1), ());
+        q.enqueue(t(3), ());
+        assert_eq!(q.head_wait(t(5)), Some(SimDuration::from_secs(4)));
+    }
+
+    #[test]
+    fn remove_where_skips_wait_accounting() {
+        let mut q = FifoQueue::new();
+        q.enqueue(t(0), "stay");
+        q.enqueue(t(0), "leave");
+        let removed = q.remove_where(|x| *x == "leave").unwrap();
+        assert_eq!(removed.1, "leave");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.wait_stats().count(), 0);
+        assert!(q.remove_where(|x| *x == "ghost").is_none());
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = FifoQueue::new();
+        q.enqueue(t(0), 1);
+        q.enqueue(t(0), 2);
+        q.enqueue(t(0), 3);
+        q.dequeue(t(1));
+        q.dequeue(t(1));
+        q.enqueue(t(2), 4);
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut q = FifoQueue::new();
+        q.enqueue(t(0), 10);
+        q.enqueue(t(1), 20);
+        let seen: Vec<i32> = q.iter().copied().collect();
+        assert_eq!(seen, vec![10, 20]);
+    }
+}

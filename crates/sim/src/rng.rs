@@ -1,0 +1,177 @@
+//! Deterministic random-number streams.
+//!
+//! Reproducibility is a first-class requirement: every experiment in
+//! `EXPERIMENTS.md` must regenerate identically from its seed. The classic
+//! mistake is sharing a single RNG across subsystems, where any change to
+//! *one* consumer's draw count perturbs *every* downstream number. The
+//! [`RngFactory`] instead derives an **independent, labelled stream** per
+//! subsystem (`"arrivals"`, `"esp.answers"`, `"ocr"`, ...), so adding a draw
+//! in one module never disturbs another.
+//!
+//! Streams are derived by mixing the master seed with an FNV-1a hash of the
+//! label through SplitMix64 — a standard seed-sequencing construction with
+//! good avalanche behaviour.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG type used throughout the workspace (ChaCha-based [`StdRng`]:
+/// portable, seedable, and stable across platforms).
+pub type SimRng = StdRng;
+
+/// Derives independent, labelled RNG streams from one master seed.
+///
+/// # Examples
+///
+/// ```
+/// use hc_sim::RngFactory;
+/// use rand::Rng;
+///
+/// let f = RngFactory::new(7);
+/// let mut a1 = f.stream("arrivals");
+/// let mut a2 = f.stream("arrivals");
+/// let mut b = f.stream("answers");
+///
+/// // Same label => same stream; different label => different stream.
+/// assert_eq!(a1.gen::<u64>(), a2.gen::<u64>());
+/// let mut a3 = f.stream("arrivals");
+/// assert_ne!(a3.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngFactory {
+    master_seed: u64,
+}
+
+impl RngFactory {
+    /// Creates a factory rooted at `master_seed`.
+    #[must_use]
+    pub const fn new(master_seed: u64) -> Self {
+        RngFactory { master_seed }
+    }
+
+    /// The master seed this factory was built from.
+    #[must_use]
+    pub const fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Returns the RNG stream for `label`. Calling twice with the same label
+    /// yields identical streams.
+    #[must_use]
+    pub fn stream(&self, label: &str) -> SimRng {
+        SimRng::seed_from_u64(self.stream_seed(label))
+    }
+
+    /// Returns the RNG stream for `label` refined by a numeric index —
+    /// convenient for per-player or per-task streams
+    /// (`factory.indexed_stream("player", 42)`).
+    #[must_use]
+    pub fn indexed_stream(&self, label: &str, index: u64) -> SimRng {
+        let base = self.stream_seed(label);
+        SimRng::seed_from_u64(splitmix64(base ^ splitmix64(index)))
+    }
+
+    /// Derives a child factory, for handing an entire subsystem its own seed
+    /// space (`factory.child("captcha")`).
+    #[must_use]
+    pub fn child(&self, label: &str) -> RngFactory {
+        RngFactory {
+            master_seed: self.stream_seed(label),
+        }
+    }
+
+    fn stream_seed(&self, label: &str) -> u64 {
+        splitmix64(self.master_seed ^ fnv1a(label.as_bytes()))
+    }
+}
+
+/// 64-bit FNV-1a over bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer (Steele, Lea & Flood 2014) — one full avalanche pass.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_label_same_stream() {
+        let f = RngFactory::new(123);
+        let xs: Vec<u64> = f
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u64> = f
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let f = RngFactory::new(123);
+        let a: u64 = f.stream("a").gen();
+        let b: u64 = f.stream("b").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_master_seeds_diverge() {
+        let a: u64 = RngFactory::new(1).stream("x").gen();
+        let b: u64 = RngFactory::new(2).stream("x").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indexed_streams_are_distinct_and_stable() {
+        let f = RngFactory::new(9);
+        let p0: u64 = f.indexed_stream("player", 0).gen();
+        let p1: u64 = f.indexed_stream("player", 1).gen();
+        let p0_again: u64 = f.indexed_stream("player", 0).gen();
+        assert_ne!(p0, p1);
+        assert_eq!(p0, p0_again);
+    }
+
+    #[test]
+    fn child_factories_are_independent_namespaces() {
+        let f = RngFactory::new(5);
+        let c1 = f.child("captcha");
+        let c2 = f.child("games");
+        assert_ne!(c1.master_seed(), c2.master_seed());
+        // A child's stream differs from the parent's stream of the same name.
+        let parent: u64 = f.stream("s").gen();
+        let child: u64 = c1.stream("s").gen();
+        assert_ne!(parent, child);
+    }
+
+    #[test]
+    fn fnv_and_splitmix_known_behaviour() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        // SplitMix64 must not be the identity and must avalanche on 1 bit.
+        let a = splitmix64(0);
+        let b = splitmix64(1);
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 16, "poor avalanche: {:064b}", a ^ b);
+    }
+}

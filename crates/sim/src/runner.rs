@@ -1,0 +1,200 @@
+//! A minimal simulation driver.
+//!
+//! [`Simulation`] owns the clock and an [`EventQueue`], and hands each event
+//! to a caller-supplied handler which may schedule further events. This is
+//! the conventional DES main loop, factored out so every experiment binary
+//! does not re-implement (and subtly diverge on) horizon handling and event
+//! budgets.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Why a [`Simulation::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted (runaway-loop backstop).
+    BudgetExhausted,
+}
+
+/// A discrete-event simulation loop over events of type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use hc_sim::{Simulation, SimDuration, SimTime, StepOutcome};
+///
+/// // A self-perpetuating heartbeat that stops at the horizon.
+/// let mut sim = Simulation::new();
+/// sim.schedule(SimTime::ZERO, "beat");
+/// let mut beats = 0;
+/// let outcome = sim.run(SimTime::from_secs(10), |sim, now, _ev| {
+///     beats += 1;
+///     sim.schedule(now + SimDuration::from_secs(3), "beat");
+/// });
+/// assert_eq!(outcome, StepOutcome::HorizonReached);
+/// assert_eq!(beats, 4); // t = 0, 3, 6, 9
+/// ```
+#[derive(Debug)]
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    event_budget: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates an empty simulation at `t = 0` with a default event budget of
+    /// one billion events.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            event_budget: 1_000_000_000,
+        }
+    }
+
+    /// Overrides the event budget (backstop against runaway self-scheduling).
+    #[must_use]
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// The current simulated time (the timestamp of the last handled event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`. Events scheduled in the past
+    /// fire "now" (at the current clock) rather than rewinding time.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.now + delay;
+        self.queue.push(at, event);
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total events handled so far.
+    #[must_use]
+    pub fn handled(&self) -> u64 {
+        self.queue.popped_count()
+    }
+
+    /// Runs until the queue drains, `horizon` is passed, or the event budget
+    /// runs out. The handler receives `(self, event_time, event)` and may
+    /// schedule more events.
+    pub fn run<F>(&mut self, horizon: SimTime, mut handler: F) -> StepOutcome
+    where
+        F: FnMut(&mut Simulation<E>, SimTime, E),
+    {
+        loop {
+            if self.queue.popped_count() >= self.event_budget {
+                return StepOutcome::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return StepOutcome::Drained,
+                Some(t) if t > horizon => {
+                    self.now = horizon;
+                    return StepOutcome::HorizonReached;
+                }
+                Some(_) => {
+                    let (t, ev) = self.queue.pop().expect("peeked non-empty");
+                    self.now = t;
+                    handler(self, t, ev);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_when_no_events_remain() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule(SimTime::from_secs(1), 1);
+        sim.schedule(SimTime::from_secs(2), 2);
+        let mut seen = Vec::new();
+        let outcome = sim.run(SimTime::from_secs(100), |_, _, ev| seen.push(ev));
+        assert_eq!(outcome, StepOutcome::Drained);
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.handled(), 2);
+    }
+
+    #[test]
+    fn horizon_stops_with_pending_events() {
+        let mut sim: Simulation<&str> = Simulation::new();
+        sim.schedule(SimTime::from_secs(1), "in");
+        sim.schedule(SimTime::from_secs(50), "out");
+        let mut seen = Vec::new();
+        let outcome = sim.run(SimTime::from_secs(10), |_, _, ev| seen.push(ev));
+        assert_eq!(outcome, StepOutcome::HorizonReached);
+        assert_eq!(seen, vec!["in"]);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn budget_backstops_runaway_loops() {
+        let mut sim: Simulation<()> = Simulation::new().with_event_budget(100);
+        sim.schedule(SimTime::ZERO, ());
+        let outcome = sim.run(SimTime::MAX, |sim, now, ()| {
+            sim.schedule(now, ()); // pathological: reschedules at same instant
+        });
+        assert_eq!(outcome, StepOutcome::BudgetExhausted);
+        assert_eq!(sim.handled(), 100);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim: Simulation<&str> = Simulation::new();
+        sim.schedule(SimTime::from_secs(5), "later");
+        let mut times = Vec::new();
+        sim.run(SimTime::from_secs(10), |sim, now, ev| {
+            times.push((now, ev));
+            if ev == "later" {
+                // Attempt to schedule in the past; must fire at `now`.
+                sim.schedule(SimTime::from_secs(1), "clamped");
+            }
+        });
+        assert_eq!(times[1], (SimTime::from_secs(5), "clamped"));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut sim: Simulation<&str> = Simulation::new();
+        sim.schedule(SimTime::from_secs(2), "first");
+        let mut fired_at = None;
+        sim.run(SimTime::from_secs(100), |sim, _, ev| {
+            if ev == "first" {
+                sim.schedule_in(SimDuration::from_secs(3), "second");
+            } else {
+                fired_at = Some(sim.now());
+            }
+        });
+        assert_eq!(fired_at, Some(SimTime::from_secs(5)));
+    }
+}

@@ -1,0 +1,586 @@
+//! Online and batch statistics for experiment harnesses.
+//!
+//! Every experiment binary reports means, spreads, percentiles and
+//! confidence intervals; this module provides the shared machinery:
+//!
+//! * [`OnlineStats`] — single-pass Welford mean/variance with min/max.
+//! * [`SampleSet`] — a retained sample supporting exact quantiles.
+//! * [`Histogram`] — fixed-width binning for distribution-shaped figures.
+//! * [`ConfidenceInterval`] — normal-approximation CIs for means and
+//!   proportions (Wald and Wilson).
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass running mean/variance (Welford's algorithm), plus min/max.
+///
+/// Numerically stable for long streams; used for inter-arrival gaps, queue
+/// sojourns, scores, and every other streaming measurement in the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use hc_sim::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation. Non-finite values are ignored (and counted via
+    /// [`OnlineStats::count`] staying unchanged) so one NaN cannot poison a
+    /// whole experiment.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of (finite) observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`), or 0 when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n-1`), or 0 with fewer than 2 samples.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of observations (`mean * n`).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// 95% normal-approximation confidence interval for the mean.
+    #[must_use]
+    pub fn mean_ci95(&self) -> ConfidenceInterval {
+        ConfidenceInterval::for_mean(self.mean(), self.std_dev(), self.count)
+    }
+}
+
+/// A retained sample supporting exact order statistics.
+///
+/// Unlike [`OnlineStats`] this stores all observations; use it where exact
+/// medians/percentiles matter (latency figures) and sample counts are
+/// bounded.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleSet {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// Creates an empty sample set.
+    #[must_use]
+    pub fn new() -> Self {
+        SampleSet {
+            values: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one observation (non-finite values ignored).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Extends from an iterator of observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Number of retained observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no observations have been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Exact quantile by linear interpolation between order statistics.
+    /// `q` is clamped to `[0, 1]`. Returns `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.values.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Immutable view of the raw values (unspecified order).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+            self.sorted = true;
+        }
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is non-finite —
+    /// these are programming errors, not data errors.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "histogram bounds must be finite with lo < hi"
+        );
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    #[must_use]
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins.get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn bin_len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `(lo, hi)` bounds of bucket `i`.
+    #[must_use]
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Observations below `lo`.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded observations (including under/overflow).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of in-range mass in bucket `i`.
+    #[must_use]
+    pub fn bin_fraction(&self, i: usize) -> f64 {
+        let in_range = self.total - self.underflow - self.overflow;
+        if in_range == 0 {
+            0.0
+        } else {
+            self.bin_count(i) as f64 / in_range as f64
+        }
+    }
+}
+
+/// A symmetric confidence interval `center ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub center: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+}
+
+/// z-score for a two-sided 95% interval.
+const Z95: f64 = 1.959_963_984_540_054;
+
+impl ConfidenceInterval {
+    /// 95% CI for a mean given its sample standard deviation and count
+    /// (normal approximation; degenerate when `n < 2`).
+    #[must_use]
+    pub fn for_mean(mean: f64, std_dev: f64, n: u64) -> Self {
+        let half_width = if n < 2 {
+            0.0
+        } else {
+            Z95 * std_dev / (n as f64).sqrt()
+        };
+        ConfidenceInterval {
+            center: mean,
+            half_width,
+        }
+    }
+
+    /// Wilson score 95% interval for a proportion with `successes` out of
+    /// `trials`. Returns the interval *center and half-width* of the Wilson
+    /// interval (better behaved than Wald at the extremes — exactly where
+    /// CAPTCHA pass rates live).
+    #[must_use]
+    pub fn for_proportion(successes: u64, trials: u64) -> Self {
+        if trials == 0 {
+            return ConfidenceInterval {
+                center: 0.0,
+                half_width: 0.0,
+            };
+        }
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = Z95 * Z95;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half_width = (Z95 / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        ConfidenceInterval { center, half_width }
+    }
+
+    /// Lower bound of the interval.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.center - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.center + self.half_width
+    }
+
+    /// `true` if `x` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.center, self.half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.5, 2.5, 3.5, 10.0, -4.0, 0.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.sample_variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), Some(-4.0));
+        assert_eq!(s.max(), Some(10.0));
+        assert!((s.sum() - data.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_ignores_non_finite() {
+        let mut s = OnlineStats::new();
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(3.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut s = SampleSet::new();
+        s.extend([4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.median(), Some(2.5));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(4.0));
+        assert_eq!(s.quantile(2.0), Some(4.0)); // clamped
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn quantiles_on_empty_set() {
+        let mut s = SampleSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.median(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn p95_on_uniform_ramp() {
+        let mut s = SampleSet::new();
+        s.extend((0..=100).map(f64::from));
+        assert_eq!(s.p95(), Some(95.0));
+        assert_eq!(s.p99(), Some(99.0));
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 9.99, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bin_count(0), 2); // 0.0 and 1.9
+        assert_eq!(h.bin_count(1), 1); // 2.0
+        assert_eq!(h.bin_count(4), 1); // 9.99
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_bounds(1), (2.0, 4.0));
+        assert!((h.bin_fraction(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn mean_ci_shrinks_with_n() {
+        let wide = ConfidenceInterval::for_mean(5.0, 2.0, 10);
+        let narrow = ConfidenceInterval::for_mean(5.0, 2.0, 1000);
+        assert!(narrow.half_width < wide.half_width);
+        assert!(wide.contains(5.0));
+        assert_eq!(ConfidenceInterval::for_mean(5.0, 2.0, 1).half_width, 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_behaviour() {
+        // 0/0 trials: degenerate.
+        let ci = ConfidenceInterval::for_proportion(0, 0);
+        assert_eq!(ci.center, 0.0);
+        // 95/100: interval near 0.95 and inside [0, 1].
+        let ci = ConfidenceInterval::for_proportion(95, 100);
+        assert!(ci.lo() > 0.85 && ci.hi() <= 1.0);
+        assert!(ci.contains(0.95));
+        // Extreme 100/100 keeps the upper bound at most 1.
+        let ci = ConfidenceInterval::for_proportion(100, 100);
+        assert!(ci.hi() <= 1.0 + 1e-12);
+        assert!(ci.lo() > 0.9);
+    }
+
+    #[test]
+    fn ci_display() {
+        let ci = ConfidenceInterval::for_mean(1.0, 0.5, 100);
+        assert!(ci.to_string().contains('±'));
+    }
+}

@@ -1,0 +1,350 @@
+//! Virtual time for the simulation kernel.
+//!
+//! All simulated clocks in the workspace use [`SimTime`] (an absolute
+//! instant) and [`SimDuration`] (a span). Both are backed by an integer
+//! number of **microseconds** rather than a float so that event ordering is
+//! exact, hashing is stable, and runs are reproducible across platforms —
+//! floating-point time is the classic source of cross-machine divergence in
+//! DES kernels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Microseconds per second, the internal tick resolution.
+pub const TICKS_PER_SECOND: u64 = 1_000_000;
+
+/// An absolute instant on the simulated clock, counted in microseconds from
+/// the start of the simulation.
+///
+/// `SimTime` is totally ordered and `Copy`; arithmetic against
+/// [`SimDuration`] is saturating at zero on subtraction underflow (events
+/// cannot be scheduled before the epoch).
+///
+/// # Examples
+///
+/// ```
+/// use hc_sim::{SimDuration, SimTime};
+/// let t = SimTime::from_secs_f64(1.5) + SimDuration::from_millis(250);
+/// assert_eq!(t.as_secs_f64(), 1.75);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, counted in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as an "never" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from raw microsecond ticks.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Builds an instant from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * TICKS_PER_SECOND)
+    }
+
+    /// Builds an instant from fractional seconds, rounding to the nearest
+    /// microsecond. Negative or non-finite input clamps to zero.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_to_ticks(secs))
+    }
+
+    /// Raw microsecond ticks since the epoch.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (lossy beyond ~2^53 µs).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Hours since the epoch as a float; the natural unit for GWAP
+    /// throughput ("problem instances per human-hour").
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// The span from `earlier` to `self`, or [`SimDuration::ZERO`] if
+    /// `earlier` is later than `self`.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Builds a span from raw microsecond ticks.
+    #[must_use]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// Builds a span from whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Builds a span from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * TICKS_PER_SECOND)
+    }
+
+    /// Builds a span from whole minutes.
+    #[must_use]
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * TICKS_PER_SECOND)
+    }
+
+    /// Builds a span from whole hours.
+    #[must_use]
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600 * TICKS_PER_SECOND)
+    }
+
+    /// Builds a span from fractional seconds, rounding to the nearest
+    /// microsecond. Negative or non-finite input clamps to zero.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_to_ticks(secs))
+    }
+
+    /// Raw microsecond ticks.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The span as fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// The span as fractional minutes.
+    #[must_use]
+    pub fn as_mins_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// The span as fractional hours.
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// `true` when the span is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+fn secs_to_ticks(secs: f64) -> u64 {
+    if !secs.is_finite() || secs <= 0.0 {
+        return 0;
+    }
+    let ticks = secs * TICKS_PER_SECOND as f64;
+    if ticks >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ticks.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 3600.0 {
+            write!(f, "{:.2}h", s / 3600.0)
+        } else if s >= 60.0 {
+            write!(f, "{:.2}min", s / 60.0)
+        } else {
+            write!(f, "{s:.3}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).ticks(), 3 * TICKS_PER_SECOND);
+        assert_eq!(SimDuration::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+    }
+
+    #[test]
+    fn fractional_seconds_round_to_microseconds() {
+        let t = SimTime::from_secs_f64(0.1234567);
+        assert_eq!(t.ticks(), 123_457);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn arithmetic_is_saturating() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(5);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(late - early, SimDuration::from_secs(4));
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_ticks(1))
+            .is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn ordering_is_total_and_matches_ticks() {
+        let a = SimTime::from_ticks(10);
+        let b = SimTime::from_ticks(20);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_formats_scale_with_magnitude() {
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDuration::from_mins(3).to_string(), "3.00min");
+        assert_eq!(SimDuration::from_hours(2).to_string(), "2.00h");
+    }
+
+    #[test]
+    fn hour_conversions() {
+        assert!((SimTime::from_secs(7200).as_hours_f64() - 2.0).abs() < 1e-12);
+        assert!((SimDuration::from_mins(90).as_hours_f64() - 1.5).abs() < 1e-12);
+        assert!((SimDuration::from_secs(90).as_mins_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(SimDuration::from_secs(2) * 3, SimDuration::from_secs(6));
+        assert_eq!(SimDuration::from_secs(6) / 3, SimDuration::from_secs(2));
+        let mut d = SimDuration::from_secs(5);
+        d -= SimDuration::from_secs(7);
+        assert_eq!(d, SimDuration::ZERO);
+    }
+}

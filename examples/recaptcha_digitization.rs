@@ -1,0 +1,68 @@
+//! Digitizing a "scanned book" with reCAPTCHA.
+//!
+//! Generates a synthetic scanned corpus, lets OCR take its shot, routes
+//! every OCR-failed word through two-word CAPTCHA challenges answered by
+//! simulated humans (with some bot traffic), and reports the finished
+//! transcription quality — the Science'08 story the DAC'09 paper retells.
+//!
+//! ```text
+//! cargo run --release --example recaptcha_digitization
+//! ```
+
+use human_computation::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1908);
+
+    // A 10k-word book at typical scan quality.
+    let corpus = ScannedCorpus::generate(10_000, 0.0, 0.05, &mut rng);
+    println!(
+        "corpus: {} words, mean scan distortion {:.3}",
+        corpus.len(),
+        corpus.mean_distortion()
+    );
+
+    let service = ReCaptcha::new(
+        corpus,
+        OcrEngine::commercial(),
+        ReCaptchaConfig::default(),
+        &mut rng,
+    );
+    println!(
+        "OCR pre-pass: {} words solved by agreeing OCR passes, {} need humans",
+        service.ocr_solved_count(),
+        service.pending_count()
+    );
+
+    let mut pipeline = DigitizationPipeline::new(
+        service,
+        HumanReader::typical(),
+        0.10, // 10% of traffic is OCR bots trying to sneak through
+        OcrEngine::advanced_attacker(),
+    );
+
+    let mut answered = 0u64;
+    for batch in [2_000u64, 8_000, 30_000, 100_000] {
+        answered += pipeline.run(batch - answered.min(batch), &mut rng);
+        let p = pipeline.progress();
+        println!(
+            "after {:>6} answers: resolved {:5.1}%  digitized {:5.1}%  accuracy {:5.2}%  control pass {:4.1}%",
+            p.answers,
+            p.resolved_fraction * 100.0,
+            p.digitized_fraction * 100.0,
+            p.digitized_accuracy * 100.0,
+            p.control_pass_rate * 100.0
+        );
+        if pipeline.service().pending_count() == 0 {
+            println!("book fully resolved!");
+            break;
+        }
+    }
+
+    let (correct, resolved) = pipeline.service().resolved_accuracy();
+    println!(
+        "\nfinal transcription: {resolved} words resolved, {:.2}% correct (paper: ≥99% with human agreement)",
+        correct as f64 / resolved.max(1) as f64 * 100.0
+    );
+}

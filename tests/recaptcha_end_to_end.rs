@@ -1,0 +1,159 @@
+//! End-to-end reCAPTCHA tests: the paper's headline numbers as executable
+//! assertions — ≥99% word accuracy with human agreement, OCR clearly
+//! worse alone, bots filtered by the control word.
+
+use human_computation::prelude::*;
+use rand::SeedableRng;
+
+fn book_corpus(n: usize, rng: &mut rand::rngs::StdRng) -> ScannedCorpus {
+    // Book-scan quality: OCR reads most of it, fails on a material tail.
+    ScannedCorpus::generate(n, 0.0, 0.05, rng)
+}
+
+#[test]
+fn human_agreement_reaches_paper_accuracy() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let corpus = book_corpus(2_000, &mut rng);
+    let service = ReCaptcha::new(
+        corpus,
+        OcrEngine::commercial(),
+        ReCaptchaConfig::default(), // promote at 2.5 votes
+        &mut rng,
+    );
+    let mut pipeline = DigitizationPipeline::new(
+        service,
+        HumanReader::typical(),
+        0.0,
+        OcrEngine::commercial(),
+    );
+    pipeline.run(100_000, &mut rng);
+    let p = pipeline.progress();
+    assert!(
+        p.digitized_fraction > 0.3,
+        "too few digitized: {}",
+        p.digitized_fraction
+    );
+    assert!(
+        p.digitized_accuracy >= 0.99,
+        "human-digitized accuracy below the paper's 99% claim: {:.4}",
+        p.digitized_accuracy
+    );
+}
+
+#[test]
+fn ocr_alone_is_clearly_worse_than_the_human_loop() {
+    use human_computation::core::text::normalize_label;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let corpus = book_corpus(2_000, &mut rng);
+    let ocr = OcrEngine::commercial();
+    let ocr_correct = corpus
+        .iter()
+        .filter(|w| {
+            normalize_label(&ocr.read(&w.truth, w.distortion, &mut rng))
+                == normalize_label(&w.truth)
+        })
+        .count();
+    let ocr_acc = ocr_correct as f64 / corpus.len() as f64;
+    // Paper: standalone OCR ~80-84% on scanned books.
+    assert!(
+        (0.6..0.95).contains(&ocr_acc),
+        "ocr accuracy {ocr_acc:.3} out of band"
+    );
+
+    let service = ReCaptcha::new(
+        corpus,
+        OcrEngine::commercial(),
+        ReCaptchaConfig::default(),
+        &mut rng,
+    );
+    let mut pipeline = DigitizationPipeline::new(
+        service,
+        HumanReader::typical(),
+        0.0,
+        OcrEngine::commercial(),
+    );
+    pipeline.run(100_000, &mut rng);
+    let acc_with_humans = pipeline.progress().resolved_accuracy;
+    assert!(
+        acc_with_humans > ocr_acc,
+        "human loop {acc_with_humans:.3} must beat OCR {ocr_acc:.3}"
+    );
+}
+
+#[test]
+fn bot_traffic_cannot_poison_the_transcription() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let corpus = book_corpus(800, &mut rng);
+    let service = ReCaptcha::new(
+        corpus,
+        OcrEngine::commercial(),
+        ReCaptchaConfig::default(),
+        &mut rng,
+    );
+    // Half the traffic is an advanced OCR attacker.
+    let mut pipeline = DigitizationPipeline::new(
+        service,
+        HumanReader::typical(),
+        0.5,
+        OcrEngine::advanced_attacker(),
+    );
+    pipeline.run(60_000, &mut rng);
+    let p = pipeline.progress();
+    assert!(
+        p.digitized_accuracy >= 0.98,
+        "bot traffic degraded accuracy to {:.4}",
+        p.digitized_accuracy
+    );
+}
+
+#[test]
+fn higher_thresholds_cost_answers_but_not_accuracy() {
+    let mut results = Vec::new();
+    for votes in [1.0f64, 2.5, 4.0] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let corpus = book_corpus(1_000, &mut rng);
+        let service = ReCaptcha::new(
+            corpus,
+            OcrEngine::commercial(),
+            ReCaptchaConfig {
+                promote_votes: votes,
+                ..ReCaptchaConfig::default()
+            },
+            &mut rng,
+        );
+        let mut pipeline = DigitizationPipeline::new(
+            service,
+            HumanReader::typical(),
+            0.0,
+            OcrEngine::commercial(),
+        );
+        pipeline.run(60_000, &mut rng);
+        let p = pipeline.progress();
+        results.push((votes, p.answers, p.digitized_accuracy));
+    }
+    // Accuracy at 2.5 votes >= accuracy at 1 vote.
+    assert!(results[1].2 >= results[0].2 - 1e-9, "{results:?}");
+    // More votes require more answers to resolve the same corpus.
+    assert!(results[2].1 >= results[1].1, "{results:?}");
+}
+
+#[test]
+fn challenges_render_at_captcha_grade_distortion() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let corpus = book_corpus(200, &mut rng);
+    let mut service = ReCaptcha::new(
+        corpus,
+        OcrEngine::commercial(),
+        ReCaptchaConfig::default(),
+        &mut rng,
+    );
+    for _ in 0..20 {
+        let Some(ch) = service.issue(&mut rng) else {
+            break;
+        };
+        // Even though the scans are clean, the rendered challenge is not —
+        // otherwise bots would read the control straight off.
+        assert!(ch.control_distortion >= 0.5, "control rendered too clean");
+        assert!(ch.unknown_distortion >= ch.control_distortion - 1e-12);
+    }
+}
