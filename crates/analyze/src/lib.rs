@@ -1,0 +1,880 @@
+//! `hc-analyze`: a self-contained static-analysis pass over the
+//! workspace's Rust sources, enforcing the project's determinism and
+//! panic-safety invariants with `file:line` diagnostics.
+//!
+//! The scanner is a hand-rolled line/token pass (no `syn`): a character
+//! state machine first blanks out string contents and removes comments
+//! (so neither can false-match a rule), then per-line rule checks run on
+//! the code-only text. Test modules (`#[cfg(test)]`), `tests/`,
+//! `benches/` and doc examples are exempt from the library-only rules.
+//!
+//! # Rules
+//!
+//! | id | severity | scope | invariant |
+//! |----|----------|-------|-----------|
+//! | D1 | error | library crates | no wall-clock / OS entropy (`SystemTime`, `Instant::now`, `thread_rng`, `rand::random`, `std::env`) |
+//! | D2 | error | library crates | no `HashMap`/`HashSet` (iteration-order nondeterminism); use `BTreeMap`/`BTreeSet` |
+//! | P1 | error | library crates | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` or computed-index slicing |
+//! | H1 | error | whole workspace | no `unsafe` code |
+//! | H2 | error | `hc-core` | every `pub` item carries a doc comment |
+//! | A1 | error | everywhere | `hc-analyze: allow(...)` must carry a justification |
+//! | A2 | warning | everywhere | an allow comment whose rule never fires on its line is stale |
+//!
+//! A violation is suppressed by a justified allow comment on the same
+//! line or the line directly above:
+//!
+//! ```text
+//! // hc-analyze: allow(P1): index is guarded by the `rank == 0` branch
+//! let lo = self.cdf[rank - 1];
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Library crates whose code must be deterministic and panic-free.
+/// `hc-bench` and `hc-analyze` are tool crates: they may read the OS
+/// environment and abort on broken invariants.
+const LIBRARY_CRATES: [&str; 6] = ["sim", "core", "crowd", "games", "captcha", "aggregate"];
+
+/// Path fragments never scanned: external stand-ins, build output, VCS
+/// metadata, and the analyzer's own seeded-violation fixtures.
+const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
+
+// ---------------------------------------------------------------------------
+// Report model
+// ---------------------------------------------------------------------------
+
+/// How severe a diagnostic is; only errors fail the check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// Invariant violation: fails `hc-analyze check`.
+    Error,
+    /// Advisory: reported but does not affect the exit code.
+    Warning,
+}
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Rule id (`D1`, `D2`, `P1`, `H1`, `H2`, `A1`, `A2`).
+    pub rule: String,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Path relative to the scanned root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{kind}[{}] {}:{}: {}",
+            self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+/// The machine-readable result of one analysis run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Every finding, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of violations suppressed by justified allow comments.
+    pub allows_honored: usize,
+}
+
+impl Report {
+    /// Whether any error-severity diagnostic was produced.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Count of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File classification
+// ---------------------------------------------------------------------------
+
+/// What rule set applies to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source: all rules apply.
+    Library {
+        /// Whether this file belongs to `hc-core` (enables H2).
+        core: bool,
+    },
+    /// Tool/example source (`hc-bench`, `hc-analyze`, `examples/`):
+    /// only H1 applies.
+    Tool,
+    /// Test/bench source: only H1 applies.
+    Test,
+}
+
+/// Classifies a workspace-relative path (`/`-separated).
+#[must_use]
+pub fn classify(rel_path: &str) -> FileKind {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.first() {
+        Some(&"crates") if parts.len() >= 3 => {
+            let crate_name = parts[1];
+            let section = parts[2];
+            if section == "tests" || section == "benches" {
+                FileKind::Test
+            } else if LIBRARY_CRATES.contains(&crate_name) {
+                FileKind::Library {
+                    core: crate_name == "core",
+                }
+            } else {
+                FileKind::Tool
+            }
+        }
+        Some(&"src") => FileKind::Library { core: false },
+        Some(&"tests") | Some(&"benches") => FileKind::Test,
+        _ => FileKind::Tool,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexical pass: strip strings and comments
+// ---------------------------------------------------------------------------
+
+/// One source line after the lexical pass.
+#[derive(Debug, Clone, Default)]
+struct LexedLine {
+    /// Code with string/char contents blanked and comments removed.
+    code: String,
+    /// Concatenated comment text on this line (without `//` markers).
+    comment: String,
+    /// Whether the line starts a doc comment (`///` or `//!`).
+    is_doc: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Code,
+    Str,
+    RawStr { hashes: usize },
+    BlockComment { depth: usize, doc: bool },
+}
+
+/// Splits source text into per-line code and comment channels. The code
+/// channel keeps string delimiters (as token boundaries) but blanks
+/// their contents; comments go to the comment channel.
+fn lex(source: &str) -> Vec<LexedLine> {
+    let mut lines = Vec::new();
+    let mut state = LexState::Code;
+    for raw_line in source.split('\n') {
+        let mut line = LexedLine::default();
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                LexState::Code => match c {
+                    '/' if next == Some('/') => {
+                        let rest: String = chars[i..].iter().collect();
+                        line.is_doc |= rest.starts_with("///") || rest.starts_with("//!");
+                        let text = rest.trim_start_matches('/').trim_start_matches('!');
+                        line.comment.push_str(text);
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        let rest: String = chars[i..].iter().collect();
+                        let doc = rest.starts_with("/**") || rest.starts_with("/*!");
+                        state = LexState::BlockComment { depth: 1, doc };
+                        i += 2;
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = LexState::Str;
+                        i += 1;
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string: r"..." or r#"..."#.
+                        let mut j = i + 1;
+                        let mut hashes = 0;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            line.code.push_str("r\"");
+                            state = LexState::RawStr { hashes };
+                            i = j + 1;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal closes with a
+                        // quote one or two chars later (escapes aside).
+                        if next == Some('\\') {
+                            // Escaped char literal: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            line.code.push_str("' '");
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("' '");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep as code.
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                },
+                LexState::Str => match c {
+                    '\\' => i += 2,
+                    '"' => {
+                        line.code.push('"');
+                        state = LexState::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                LexState::RawStr { hashes } => {
+                    if c == '"' {
+                        let closed = (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                        if closed {
+                            line.code.push('"');
+                            state = LexState::Code;
+                            i += 1 + hashes;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                LexState::BlockComment { depth, doc } => {
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            state = LexState::Code;
+                        } else {
+                            state = LexState::BlockComment {
+                                depth: depth - 1,
+                                doc,
+                            };
+                        }
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = LexState::BlockComment {
+                            depth: depth + 1,
+                            doc,
+                        };
+                        i += 2;
+                    } else {
+                        line.is_doc |= doc;
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if let LexState::BlockComment { doc, .. } = state {
+            line.is_doc |= doc;
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    justified: bool,
+    line: usize,
+    used: bool,
+}
+
+/// Parses every `hc-analyze: allow(<rule>)[: justification]` directive in
+/// a comment.
+fn parse_allows(comment: &str, line: usize) -> Vec<Allow> {
+    const MARKER: &str = "hc-analyze: allow(";
+    let mut allows = Vec::new();
+    let mut rest = comment;
+    while let Some(start) = rest.find(MARKER) {
+        let after = &rest[start + MARKER.len()..];
+        let Some(close) = after.find(')') else { break };
+        let rule = after[..close].trim().to_string();
+        let tail = &after[close + 1..];
+        let justified = tail
+            .strip_prefix(':')
+            .is_some_and(|j| !j.trim().is_empty());
+        allows.push(Allow {
+            rule,
+            justified,
+            line,
+            used: false,
+        });
+        rest = tail;
+    }
+    allows
+}
+
+// ---------------------------------------------------------------------------
+// Rule checks (per code-only line)
+// ---------------------------------------------------------------------------
+
+const D1_TOKENS: [&str; 5] = [
+    "SystemTime",
+    "Instant::now",
+    "thread_rng",
+    "rand::random",
+    "std::env",
+];
+
+const P1_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+    "unreachable!(",
+];
+
+fn check_d1(code: &str) -> Option<String> {
+    D1_TOKENS
+        .iter()
+        .find(|t| code.contains(*t))
+        .map(|t| format!("`{t}` introduces wall-clock time or OS entropy; library code must stay deterministic (seeded RNG + SimTime only)"))
+}
+
+fn check_d2(code: &str) -> Option<String> {
+    ["HashMap", "HashSet"]
+        .iter()
+        .find(|t| code.contains(*t))
+        .map(|t| format!("`{t}` has nondeterministic iteration order; use `BTreeMap`/`BTreeSet` (or justify with an allow if provably never iterated)"))
+}
+
+fn check_p1(code: &str) -> Option<String> {
+    if let Some(t) = P1_TOKENS.iter().find(|t| code.contains(*t)) {
+        return Some(format!(
+            "`{}` can panic; library code must return typed errors (or justify the invariant with an allow)",
+            t.trim_end_matches('(')
+        ));
+    }
+    if has_computed_index(code) {
+        return Some(
+            "computed slice index can panic on an off-by-one; use `.get()`/checked math \
+             (or justify the bound with an allow)"
+                .to_string(),
+        );
+    }
+    None
+}
+
+/// Detects indexing whose index expression contains arithmetic — the
+/// classic out-of-bounds panic shape (`xs[i - 1]`, `&w[..n - 3]`). Plain
+/// `xs[i]` loop indexing is deliberately out of scope, as are array
+/// repeat literals (`[0u32; 2]`, which contain `;`).
+fn has_computed_index(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (open, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        // Indexing requires a value expression directly before `[`.
+        let is_index = open > 0
+            && (matches!(bytes[open - 1], b')' | b']' | b'"' | b'_')
+                || bytes[open - 1].is_ascii_alphanumeric());
+        if !is_index {
+            continue;
+        }
+        // `vec![` and attribute lines never reach here (`!` / `#` before `[`).
+        let mut depth = 1;
+        let mut j = open + 1;
+        let mut has_arith = false;
+        // Last non-space byte inside the brackets, to tell `a * b` from
+        // the deref in `counts[*e]` (where `*` follows a delimiter).
+        let mut prev = b'[';
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b';' => {
+                    // Array repeat literal, not an index.
+                    has_arith = false;
+                    break;
+                }
+                b'+' | b'-' | b'/' => has_arith = true,
+                b'*' => {
+                    has_arith |=
+                        prev.is_ascii_alphanumeric() || matches!(prev, b'_' | b')' | b']');
+                }
+                _ => {}
+            }
+            if bytes[j] != b' ' {
+                prev = bytes[j];
+            }
+            j += 1;
+        }
+        if has_arith && depth == 0 {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_h1(code: &str) -> Option<String> {
+    // `forbid(unsafe_code)` attributes mention the lint name, not the
+    // keyword with a block/fn shape; match the keyword only.
+    let mut search = code;
+    while let Some(pos) = search.find("unsafe") {
+        let before_ok = pos == 0
+            || !search.as_bytes()[pos - 1].is_ascii_alphanumeric()
+                && search.as_bytes()[pos - 1] != b'_';
+        let after = &search[pos + "unsafe".len()..];
+        let after_ok = after
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if before_ok && after_ok && !after.trim_start().starts_with("_code") {
+            return Some(
+                "`unsafe` is forbidden workspace-wide; every invariant must be checkable"
+                    .to_string(),
+            );
+        }
+        search = &search[pos + "unsafe".len()..];
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// File analysis
+// ---------------------------------------------------------------------------
+
+/// Analyzes one file's source text under the given classification,
+/// appending diagnostics to `report`.
+pub fn analyze_source(source: &str, rel_path: &str, kind: FileKind, report: &mut Report) {
+    let lexed = lex(source);
+    let library = matches!(kind, FileKind::Library { .. });
+    let core = matches!(kind, FileKind::Library { core: true });
+
+    let mut pending_allows: Vec<Allow> = Vec::new();
+    let mut all_allows: Vec<Allow> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut test_mod_depth: Option<i64> = None;
+    let mut macro_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    let mut has_doc = false;
+
+    for (idx, line) in lexed.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = line.code.trim();
+        let comment_only = code.is_empty() && !line.comment.is_empty();
+
+        // Allow directives: a trailing comment guards its own line; a
+        // standalone comment line guards the next code line. Doc comments
+        // are prose (they may *mention* the syntax), never directives.
+        let mut line_allows = if line.is_doc {
+            Vec::new()
+        } else {
+            parse_allows(&line.comment, lineno)
+        };
+        if comment_only {
+            pending_allows.append(&mut line_allows);
+            has_doc |= line.is_doc;
+            continue;
+        }
+        line_allows.append(&mut pending_allows);
+
+        // Track #[cfg(test)] module spans so test code is exempt from
+        // the library-only rules.
+        let depth_before = depth;
+        for b in line.code.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(entry) = test_mod_depth {
+            if depth <= entry {
+                test_mod_depth = None;
+            }
+        }
+        if let Some(entry) = macro_depth {
+            if depth <= entry {
+                macro_depth = None;
+            }
+        }
+        let in_test_mod = test_mod_depth.is_some();
+        // `macro_rules!` bodies are token templates (`pub struct $name`):
+        // item-shape rules like H2 cannot read them reliably.
+        let in_macro = macro_depth.is_some();
+        if macro_depth.is_none() && line.code.contains("macro_rules!") && line.code.contains('{') {
+            macro_depth = Some(depth_before);
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && (code.starts_with("mod ") || code.starts_with("pub mod ")) {
+            if line.code.contains('{') {
+                test_mod_depth = Some(depth_before);
+            }
+            pending_cfg_test = false;
+        } else if !code.starts_with("#[") && !code.is_empty() {
+            pending_cfg_test = false;
+        }
+
+        // H2 doc-state machine: docs survive attribute lines, anything
+        // else resets them.
+        let is_attr = code.starts_with("#[") || code.starts_with("#![");
+        let lib_rules_apply = library && !in_test_mod;
+
+        let mut findings: Vec<(&str, Severity, String)> = Vec::new();
+        if lib_rules_apply {
+            if let Some(m) = check_d1(&line.code) {
+                findings.push(("D1", Severity::Error, m));
+            }
+            if let Some(m) = check_d2(&line.code) {
+                findings.push(("D2", Severity::Error, m));
+            }
+            if let Some(m) = check_p1(&line.code) {
+                findings.push(("P1", Severity::Error, m));
+            }
+        }
+        if let Some(m) = check_h1(&line.code) {
+            findings.push(("H1", Severity::Error, m));
+        }
+        if core && !in_test_mod && !in_macro && is_undocumented_pub(code, has_doc) {
+            findings.push((
+                "H2",
+                Severity::Error,
+                "public item in hc-core lacks a doc comment".to_string(),
+            ));
+        }
+
+        if line.is_doc {
+            has_doc = true;
+        } else if !is_attr {
+            has_doc = false;
+        }
+
+        // Match findings against this line's allows.
+        for (rule, severity, message) in findings {
+            let allow = line_allows
+                .iter_mut()
+                .find(|a| a.rule.eq_ignore_ascii_case(rule));
+            match allow {
+                Some(a) if a.justified => {
+                    a.used = true;
+                    report.allows_honored += 1;
+                }
+                Some(a) => {
+                    a.used = true;
+                    report.diagnostics.push(Diagnostic {
+                        rule: "A1".to_string(),
+                        severity: Severity::Error,
+                        path: rel_path.to_string(),
+                        line: a.line,
+                        message: format!(
+                            "allow({rule}) requires a justification: `// hc-analyze: allow({rule}): <why this is sound>`"
+                        ),
+                    });
+                }
+                None => report.diagnostics.push(Diagnostic {
+                    rule: rule.to_string(),
+                    severity,
+                    path: rel_path.to_string(),
+                    line: lineno,
+                    message,
+                }),
+            }
+        }
+        all_allows.append(&mut line_allows);
+    }
+
+    // Stale allows: directives that never suppressed anything.
+    all_allows.append(&mut pending_allows);
+    for allow in all_allows.into_iter().filter(|a| !a.used) {
+        report.diagnostics.push(Diagnostic {
+            rule: "A2".to_string(),
+            severity: Severity::Warning,
+            path: rel_path.to_string(),
+            line: allow.line,
+            message: format!(
+                "stale allow({}) — no matching violation on the guarded line",
+                allow.rule
+            ),
+        });
+    }
+}
+
+/// Whether a code line declares an undocumented public item. `pub use`
+/// re-exports and `pub(crate)`-style restricted visibility are exempt,
+/// matching rustc's `missing_docs`.
+fn is_undocumented_pub(code: &str, has_doc: bool) -> bool {
+    if has_doc || !code.starts_with("pub ") {
+        return false;
+    }
+    // `pub mod x;` is exempt: the module file carries its own `//!` docs,
+    // which this per-file pass cannot see (rustc's `missing_docs` can).
+    let item = code.trim_start_matches("pub ").trim_start();
+    const DOCUMENTED_KINDS: [&str; 8] = [
+        "fn ", "struct ", "enum ", "trait ", "type ", "const ", "static ", "union ",
+    ];
+    DOCUMENTED_KINDS.iter().any(|k| item.starts_with(k))
+        || is_public_field(item)
+}
+
+/// Struct fields also need docs: `name: Type,` with no keyword prefix.
+fn is_public_field(item: &str) -> bool {
+    let Some(colon) = item.find(':') else {
+        return false;
+    };
+    // Exclude paths (`::`) and keyword starts already handled.
+    let name = &item[..colon];
+    !item[colon..].starts_with("::")
+        && !name.is_empty()
+        && name.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk
+// ---------------------------------------------------------------------------
+
+/// Recursively collects every `.rs` file under `root`, skipping
+/// [`SKIP_DIRS`], sorted for deterministic reports.
+///
+/// # Errors
+///
+/// Returns an IO error message if a directory cannot be read.
+pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs the full pass over a workspace root.
+///
+/// # Errors
+///
+/// Returns an error message when the tree cannot be walked or a source
+/// file cannot be read.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        analyze_source(&source, &rel, classify(&rel), &mut report);
+        report.files_scanned += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: FileKind = FileKind::Library { core: false };
+    const CORE: FileKind = FileKind::Library { core: true };
+
+    fn run(source: &str, kind: FileKind) -> Report {
+        let mut report = Report::default();
+        analyze_source(source, "test.rs", kind, &mut report);
+        report
+    }
+
+    fn rules(report: &Report) -> Vec<(&str, usize)> {
+        report
+            .diagnostics
+            .iter()
+            .map(|d| (d.rule.as_str(), d.line))
+            .collect()
+    }
+
+    #[test]
+    fn d1_flags_wall_clock_and_entropy() {
+        let r = run("fn f() { let t = std::time::SystemTime::now(); }\n", LIB);
+        assert_eq!(rules(&r), vec![("D1", 1)]);
+        let r = run("fn f() -> u64 { rand::random() }\n", LIB);
+        assert_eq!(rules(&r), vec![("D1", 1)]);
+    }
+
+    #[test]
+    fn d2_flags_hash_collections() {
+        let r = run("use std::collections::HashMap;\n", LIB);
+        assert_eq!(rules(&r), vec![("D2", 1)]);
+    }
+
+    #[test]
+    fn p1_flags_panicky_calls_and_computed_indexing() {
+        let r = run("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n", LIB);
+        assert_eq!(rules(&r), vec![("P1", 1)]);
+        let r = run("fn f(xs: &[u32], i: usize) -> u32 { xs[i - 1] }\n", LIB);
+        assert_eq!(rules(&r), vec![("P1", 1)]);
+        // Plain loop indexing and repeat literals are in-scope idioms.
+        let r = run("fn f(xs: &[u32], i: usize) -> u32 { xs[i] + [0u32; 2][0] }\n", LIB);
+        assert_eq!(rules(&r), vec![]);
+        // A deref index is not arithmetic; a real product is.
+        let r = run("fn f(m: &mut [u32], e: &usize, c: usize) { m[*e % c] += 1; }\n", LIB);
+        assert_eq!(rules(&r), vec![]);
+        let r = run("fn f(xs: &[u32], i: usize, w: usize) -> u32 { xs[i * w] }\n", LIB);
+        assert_eq!(rules(&r), vec![("P1", 1)]);
+    }
+
+    #[test]
+    fn h1_flags_unsafe_but_not_the_lint_name() {
+        let r = run("fn f() { unsafe { std::mem::zeroed() } }\n", FileKind::Tool);
+        assert!(rules(&r).contains(&("H1", 1)));
+        let r = run("#![forbid(unsafe_code)]\n", FileKind::Tool);
+        assert_eq!(rules(&r), vec![]);
+    }
+
+    #[test]
+    fn h2_requires_docs_on_core_pub_items() {
+        let r = run("pub fn naked() {}\n", CORE);
+        assert_eq!(rules(&r), vec![("H2", 1)]);
+        let r = run("/// Documented.\npub fn covered() {}\n", CORE);
+        assert_eq!(rules(&r), vec![]);
+        // Attributes between doc and item keep the doc attached.
+        let r = run("/// Doc.\n#[must_use]\npub fn covered() -> u32 { 0 }\n", CORE);
+        assert_eq!(rules(&r), vec![]);
+        // pub use re-exports are exempt; non-core libraries are exempt.
+        let r = run("pub use std::fmt;\n", CORE);
+        assert_eq!(rules(&r), vec![]);
+        let r = run("pub fn naked() {}\n", LIB);
+        assert_eq!(rules(&r), vec![]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_match() {
+        let r = run("fn f() -> &'static str { \"call .unwrap() on a HashMap\" }\n", LIB);
+        assert_eq!(rules(&r), vec![]);
+        let r = run("// mentions .unwrap() and SystemTime\nfn f() {}\n", LIB);
+        assert_eq!(rules(&r), vec![]);
+        let r = run("/// doc example: `x.unwrap()`\nfn f() {}\n", LIB);
+        assert_eq!(rules(&r), vec![]);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_from_library_rules() {
+        let src = "\
+fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+fn more_lib(x: Option<u32>) -> u32 { x.expect(\"boom\") }
+";
+        let r = run(src, LIB);
+        assert_eq!(rules(&r), vec![("P1", 7)]);
+    }
+
+    #[test]
+    fn justified_allow_suppresses_and_counts() {
+        let src = "\
+// hc-analyze: allow(P1): the index is guarded one line up
+fn f(xs: &[u32], i: usize) -> u32 { xs[i - 1] }
+";
+        let r = run(src, LIB);
+        assert_eq!(rules(&r), vec![]);
+        assert_eq!(r.allows_honored, 1);
+        // Trailing same-line form.
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // hc-analyze: allow(P1): checked by caller\n";
+        let r = run(src, LIB);
+        assert_eq!(rules(&r), vec![]);
+    }
+
+    #[test]
+    fn unjustified_allow_is_an_error() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // hc-analyze: allow(P1)\n";
+        let r = run(src, LIB);
+        assert_eq!(rules(&r), vec![("A1", 1)]);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn stale_allow_is_a_warning() {
+        let src = "// hc-analyze: allow(D1): nothing here actually\nfn f() {}\n";
+        let r = run(src, LIB);
+        assert_eq!(rules(&r), vec![("A2", 1)]);
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn classification_maps_paths_to_rule_sets() {
+        assert_eq!(classify("crates/core/src/jobs.rs"), CORE);
+        assert_eq!(classify("crates/sim/src/rng.rs"), LIB);
+        assert_eq!(classify("crates/bench/src/lib.rs"), FileKind::Tool);
+        assert_eq!(classify("crates/analyze/src/main.rs"), FileKind::Tool);
+        assert_eq!(classify("crates/sim/tests/props.rs"), FileKind::Test);
+        assert_eq!(classify("crates/bench/benches/b.rs"), FileKind::Test);
+        assert_eq!(classify("src/lib.rs"), LIB);
+        assert_eq!(classify("tests/properties.rs"), FileKind::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Tool);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = Report::default();
+        analyze_source("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n", "a.rs", LIB, &mut report);
+        report.files_scanned = 1;
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: Report = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: H1 — `unsafe` is forbidden even in tool crates.
+
+pub fn reinterpret(x: u64) -> f64 {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,12 @@
+//! Fixture: D2 — hash collections in library code.
+
+use std::collections::HashMap;
+
+/// Counts occurrences with nondeterministic iteration order.
+pub fn tally(words: &[String]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for w in words {
+        *counts.entry(w.clone()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,6 @@
+//! Fixture: H2 — public hc-core items must carry doc comments.
+
+/// This one is documented and must not fire.
+pub fn documented() {}
+
+pub fn undocumented() {}

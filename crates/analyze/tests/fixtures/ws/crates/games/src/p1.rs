@@ -1,0 +1,9 @@
+//! Fixture: P1 — panicking calls and computed indexing in library code.
+
+pub fn head(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}
+
+pub fn last_window(xs: &[u32], n: usize) -> &[u32] {
+    &xs[xs.len() - n..]
+}

@@ -1,0 +1,19 @@
+//! Fixture: allow-directive handling — justified, unjustified, stale.
+
+pub fn justified(xs: &[u32], n: usize) -> u32 {
+    // hc-analyze: allow(P1): index guarded by the caller's length contract
+    xs[n - 1]
+}
+
+pub fn trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // hc-analyze: allow(P1): fixture exercises the trailing form
+}
+
+pub fn unjustified(x: Option<u32>) -> u32 {
+    x.unwrap() // hc-analyze: allow(P1)
+}
+
+// hc-analyze: allow(D1): nothing below actually uses a clock
+pub fn stale() -> u32 {
+    7
+}

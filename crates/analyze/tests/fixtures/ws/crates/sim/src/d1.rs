@@ -1,0 +1,10 @@
+//! Fixture: D1 — wall-clock and OS entropy in library code.
+
+pub fn now_ms() -> u128 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap_or_default().as_millis()
+}
+
+pub fn roll() -> u64 {
+    rand::random()
+}

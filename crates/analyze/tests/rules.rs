@@ -1,0 +1,94 @@
+//! Integration tests: run the full workspace walk over the fixture
+//! mini-workspace and assert every planted violation fires with its
+//! exact rule id and line — and nothing else does.
+
+use hc_analyze::{analyze_workspace, Severity};
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("ws")
+}
+
+#[test]
+fn planted_violations_fire_exactly() {
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    let got: Vec<(String, String, usize)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.clone(), d.path.clone(), d.line))
+        .collect();
+    let expected: Vec<(String, String, usize)> = [
+        ("H1", "crates/bench/src/h1.rs", 4),
+        ("D2", "crates/core/src/d2.rs", 3),
+        ("D2", "crates/core/src/d2.rs", 7),
+        ("H2", "crates/core/src/h2.rs", 6),
+        ("P1", "crates/games/src/p1.rs", 4),
+        ("P1", "crates/games/src/p1.rs", 8),
+        ("A1", "crates/sim/src/allowed.rs", 13),
+        ("A2", "crates/sim/src/allowed.rs", 16),
+        ("D1", "crates/sim/src/d1.rs", 4),
+        ("D1", "crates/sim/src/d1.rs", 9),
+    ]
+    .iter()
+    .map(|(r, p, l)| (r.to_string(), p.to_string(), *l))
+    .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn clean_file_and_test_modules_stay_silent() {
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.path.contains("clean.rs")),
+        "clean fixture fired: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn justified_allows_suppress_and_are_counted() {
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    // allowed.rs plants two justified P1 allows (standalone-above and
+    // trailing forms); both violations must be suppressed.
+    assert_eq!(report.allows_honored, 2);
+    let allowed_p1 = report
+        .diagnostics
+        .iter()
+        .any(|d| d.path.contains("allowed.rs") && d.rule == "P1");
+    assert!(!allowed_p1, "justified allow failed to suppress P1");
+}
+
+#[test]
+fn severity_split_matches_rule_contract() {
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    assert!(report.has_errors());
+    // Only the stale-allow advisory is a warning; everything else gates.
+    let warnings: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .collect();
+    assert_eq!(warnings.len(), 1);
+    assert_eq!(warnings[0].rule, "A2");
+    assert_eq!(report.error_count(), report.diagnostics.len() - 1);
+}
+
+#[test]
+fn fixture_report_round_trips_through_json() {
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    let compact = serde_json::to_string(&report).expect("serialize");
+    let back: hc_analyze::Report = serde_json::from_str(&compact).expect("deserialize");
+    assert_eq!(back, report);
+    let pretty = serde_json::to_string_pretty(&report).expect("serialize pretty");
+    let back: hc_analyze::Report = serde_json::from_str(&pretty).expect("deserialize pretty");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn files_scanned_counts_every_fixture() {
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    assert_eq!(report.files_scanned, 7);
+}

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, PopulationBuilder};
-use hc_games::{esp::play_esp_session, EspWorld, WorldConfig};
+use hc_games::{esp::play_esp_session, EspWorld, SessionParams, WorldConfig};
 use rand::SeedableRng;
 use std::hint::black_box;
 
@@ -30,15 +30,12 @@ fn bench_session(c: &mut Criterion) {
             sid += 1;
             t0 += 1_000;
             black_box(play_esp_session(
-                &mut platform,
-                &world,
-                &mut pop,
-                PlayerId::new(0),
-                PlayerId::new(1),
-                SessionId::new(sid),
-                SimTime::from_secs(t0),
-                &mut rng,
-            ))
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(sid), SimTime::from_secs(t0)),
+        &mut rng,
+    ))
         });
     });
 }

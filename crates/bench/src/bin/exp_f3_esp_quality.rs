@@ -12,7 +12,7 @@
 use hc_bench::{f1, f3, paper, seed_from_args, Table};
 use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, Behavior, PopulationBuilder};
-use hc_games::{esp::play_esp_session, EspWorld, WorldConfig};
+use hc_games::{esp::play_esp_session, EspWorld, SessionParams, WorldConfig};
 use hc_sim::RngFactory;
 use serde::Serialize;
 
@@ -79,15 +79,12 @@ fn main() {
                     b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
                 }
                 play_esp_session(
-                    &mut platform,
-                    &world,
-                    &mut pop,
-                    a,
-                    b,
-                    SessionId::new(s),
-                    SimTime::from_secs(s * 1_000),
-                    &mut rng,
-                );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+        &mut rng,
+    );
             }
             let (correct, total) = world.verified_precision(&platform);
             let precision = if total == 0 {

@@ -17,7 +17,7 @@ use hc_bench::{f3, pct, seed_from_args, Table};
 use hc_core::anticheat::CheatDetector;
 use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, PopulationBuilder};
-use hc_games::{esp::play_esp_session, EspWorld, WorldConfig};
+use hc_games::{esp::play_esp_session, EspWorld, SessionParams, WorldConfig};
 use hc_sim::RngFactory;
 use serde::Serialize;
 
@@ -105,15 +105,12 @@ fn main() {
                     b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
                 }
                 play_esp_session(
-                    &mut platform,
-                    &world,
-                    &mut pop,
-                    a,
-                    b,
-                    SessionId::new(s),
-                    SimTime::from_secs(s * 1_000),
-                    &mut rng,
-                );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+        &mut rng,
+    );
             }
             let attack = Label::new(ATTACK_LABEL);
             let verified = platform.verified_labels().len();

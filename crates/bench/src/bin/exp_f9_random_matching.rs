@@ -12,7 +12,7 @@
 use hc_bench::{f3, pct, seed_from_args, Table};
 use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, Behavior, PopulationBuilder};
-use hc_games::{esp::play_esp_session, EspWorld, WorldConfig};
+use hc_games::{esp::play_esp_session, EspWorld, SessionParams, WorldConfig};
 use hc_sim::RngFactory;
 use serde::Serialize;
 
@@ -108,15 +108,12 @@ fn main() {
                         colluder_pairs += 1;
                     }
                     play_esp_session(
-                        &mut platform,
-                        &world,
-                        &mut pop,
-                        a,
-                        b,
-                        SessionId::new(sessions),
-                        SimTime::from_secs(e * 1_000),
-                        &mut rng,
-                    );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(a, b, SessionId::new(sessions), SimTime::from_secs(e * 1_000)),
+        &mut rng,
+    );
                     sessions += 1;
                 }
             }

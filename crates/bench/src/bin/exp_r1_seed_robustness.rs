@@ -19,7 +19,7 @@ use hc_captcha::{
 use hc_core::prelude::*;
 use hc_core::text::normalize_label;
 use hc_crowd::{ArchetypeMix, PopulationBuilder};
-use hc_games::{esp::play_esp_session, EspWorld, WorldConfig};
+use hc_games::{esp::play_esp_session, EspWorld, SessionParams, WorldConfig};
 use hc_sim::{ConfidenceInterval, OnlineStats, RngFactory};
 use serde::Serialize;
 
@@ -87,15 +87,12 @@ fn one_seed(seed: u64) -> Sample {
             b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
         }
         play_esp_session(
-            &mut platform,
-            &world,
-            &mut pop,
-            a,
-            b,
-            SessionId::new(s),
-            SimTime::from_secs(s * 1_000),
-            &mut rng,
-        );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+        &mut rng,
+    );
     }
     let (correct, total) = world.verified_precision(&platform);
     let esp_precision = if total == 0 {

@@ -12,6 +12,7 @@ use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, EngagementModel, Population, PopulationBuilder};
 use hc_games::{
     matchin::{play_matchin_session, BradleyTerryRanking},
+    params::SessionParams,
     peekaboom::play_peekaboom_session,
     tagatune::play_tagatune_session,
     verbosity::play_verbosity_session,
@@ -120,7 +121,13 @@ fn main() {
             &mut pop,
             &mut rng,
             |pf, pop, a, b, sid, t0, r| {
-                hc_games::esp::play_esp_session(pf, &world, pop, a, b, sid, t0, r)
+                hc_games::esp::play_esp_session(
+        pf,
+        &world,
+        pop,
+        SessionParams::pair(a, b, sid, t0),
+        r,
+    )
             },
         );
         emit(

@@ -21,7 +21,7 @@ use crate::ocr::OcrEngine;
 use hc_core::text::normalize_label;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Protocol parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -135,7 +135,7 @@ pub struct ReCaptcha {
     corpus: ScannedCorpus,
     config: ReCaptchaConfig,
     status: Vec<WordStatus>,
-    votes: Vec<HashMap<String, f64>>,
+    votes: Vec<BTreeMap<String, f64>>,
     control_bank: Vec<String>,
     pending: Vec<usize>,
     served: u64,
@@ -152,12 +152,12 @@ impl ReCaptcha {
         rng: &mut R,
     ) -> Self {
         let mut status = Vec::with_capacity(corpus.len());
-        let mut votes: Vec<HashMap<String, f64>> = Vec::with_capacity(corpus.len());
+        let mut votes: Vec<BTreeMap<String, f64>> = Vec::with_capacity(corpus.len());
         let mut pending = Vec::new();
         for w in corpus.iter() {
             let pass1 = normalize_label(&ocr.read(&w.truth, w.distortion, rng));
             let pass2 = normalize_label(&ocr.read(&w.truth, w.distortion, rng));
-            let mut tally = HashMap::new();
+            let mut tally = BTreeMap::new();
             if !pass1.is_empty() {
                 *tally.entry(pass1.clone()).or_insert(0.0) += config.ocr_vote_weight;
             }
@@ -203,7 +203,7 @@ impl ReCaptcha {
         let word = self
             .corpus
             .word(unknown_index)
-            .expect("pending indices are valid");
+            .expect("pending indices are valid"); // hc-analyze: allow(P1): pending indices are built from this corpus
         let control_index = rng.gen_range(0..self.control_bank.len());
         self.served += 1;
         // Both words render at the service's CAPTCHA-grade distortion —
@@ -320,7 +320,7 @@ impl ReCaptcha {
         for (i, s) in self.status.iter().enumerate() {
             if let Some(text) = s.text() {
                 resolved += 1;
-                let truth = normalize_label(&self.corpus.word(i).expect("index valid").truth);
+                let truth = normalize_label(&self.corpus.word(i).expect("index valid").truth); // hc-analyze: allow(P1): status and corpus have equal length
                 if text == truth {
                     correct += 1;
                 }
@@ -337,7 +337,7 @@ impl ReCaptcha {
         for (i, s) in self.status.iter().enumerate() {
             if let WordStatus::Digitized { text, .. } = s {
                 digitized += 1;
-                let truth = normalize_label(&self.corpus.word(i).expect("index valid").truth);
+                let truth = normalize_label(&self.corpus.word(i).expect("index valid").truth); // hc-analyze: allow(P1): status and corpus have equal length
                 if text == &truth {
                     correct += 1;
                 }

@@ -18,7 +18,7 @@
 use crate::answer::Label;
 use crate::id::PlayerId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Exponentially-weighted reputation in `[0, 1]`.
 ///
@@ -111,9 +111,9 @@ impl CheatAssessment {
 #[derive(Debug, Clone)]
 pub struct CheatDetector {
     /// partner -> count, per player.
-    pairings: HashMap<PlayerId, HashMap<PlayerId, u32>>,
+    pairings: BTreeMap<PlayerId, BTreeMap<PlayerId, u32>>,
     /// label -> count, per player.
-    answers: HashMap<PlayerId, HashMap<Label, u32>>,
+    answers: BTreeMap<PlayerId, BTreeMap<Label, u32>>,
     /// Pair-share threshold above which the pair test fires.
     max_pair_share: f64,
     /// Entropy (bits) below which the entropy test fires.
@@ -133,8 +133,8 @@ impl CheatDetector {
     #[must_use]
     pub fn new(max_pair_share: f64, min_entropy_bits: f64, min_evidence: u32) -> Self {
         CheatDetector {
-            pairings: HashMap::new(),
-            answers: HashMap::new(),
+            pairings: BTreeMap::new(),
+            answers: BTreeMap::new(),
             max_pair_share: max_pair_share.clamp(0.0, 1.0),
             min_entropy_bits: min_entropy_bits.max(0.0),
             min_evidence: min_evidence.max(1),

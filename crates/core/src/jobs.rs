@@ -10,7 +10,7 @@
 use crate::id::{JobId, TaskId};
 use hc_sim::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Completion criterion for a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,7 +50,7 @@ pub struct Job {
     /// Tasks enrolled.
     tasks: Vec<TaskId>,
     /// Verified outputs per enrolled task.
-    outputs: HashMap<TaskId, u32>,
+    outputs: BTreeMap<TaskId, u32>,
 }
 
 impl Job {
@@ -127,8 +127,8 @@ impl Job {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct JobBook {
-    jobs: HashMap<JobId, Job>,
-    task_index: HashMap<TaskId, JobId>,
+    jobs: BTreeMap<JobId, Job>,
+    task_index: BTreeMap<TaskId, JobId>,
     next_id: u64,
 }
 
@@ -169,7 +169,7 @@ impl JobBook {
                 opened_at: now,
                 closed_at: None,
                 tasks,
-                outputs: HashMap::new(),
+                outputs: BTreeMap::new(),
             },
         );
         Ok(id)

@@ -14,7 +14,7 @@ use crate::id::PlayerId;
 use hc_sim::{SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration for the matchmaker.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -101,7 +101,7 @@ impl MatchmakerStats {
 #[derive(Debug, Clone)]
 pub struct Matchmaker {
     waiting: Vec<(SimTime, PlayerId)>,
-    last_partner: HashMap<PlayerId, PlayerId>,
+    last_partner: BTreeMap<PlayerId, PlayerId>,
     config: MatchmakerConfig,
     stats: MatchmakerStats,
     wait_stats: hc_sim::OnlineStats,
@@ -113,7 +113,7 @@ impl Matchmaker {
     pub fn new(config: MatchmakerConfig) -> Self {
         Matchmaker {
             waiting: Vec::new(),
-            last_partner: HashMap::new(),
+            last_partner: BTreeMap::new(),
             config,
             stats: MatchmakerStats::default(),
             wait_stats: hc_sim::OnlineStats::new(),
@@ -451,7 +451,7 @@ mod tests {
         let mut mm = Matchmaker::new(cfg);
         // Fill the queue with 10 waiters, then pair 200 arrivals against a
         // refilled pool and count partner diversity.
-        let mut partner_hist: HashMap<PlayerId, u32> = HashMap::new();
+        let mut partner_hist: BTreeMap<PlayerId, u32> = BTreeMap::new();
         for trial in 0..200u64 {
             for i in 0..10 {
                 mm.on_arrival(t(trial), PlayerId::new(100 + i), &mut r);

@@ -19,7 +19,7 @@
 use crate::id::PlayerId;
 use hc_sim::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The paper's three metrics for one game.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,7 +72,7 @@ impl std::fmt::Display for GwapMetrics {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ContributionLedger {
-    play_time: HashMap<PlayerId, SimDuration>,
+    play_time: BTreeMap<PlayerId, SimDuration>,
     total_outputs: u64,
 }
 

@@ -13,7 +13,7 @@ use crate::id::{PlayerId, TaskId};
 use hc_sim::SimDuration;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One recorded round: the guess stream a player produced for a task, as
 /// `(delay since round start, label)` events in nondecreasing delay order.
@@ -84,7 +84,7 @@ pub struct RecordedSession {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReplayStore {
-    by_task: HashMap<TaskId, Vec<RecordedRound>>,
+    by_task: BTreeMap<TaskId, Vec<RecordedRound>>,
     capacity_per_task: usize,
     recorded_total: u64,
 }
@@ -95,7 +95,7 @@ impl ReplayStore {
     #[must_use]
     pub fn new(capacity_per_task: usize) -> Self {
         ReplayStore {
-            by_task: HashMap::new(),
+            by_task: BTreeMap::new(),
             capacity_per_task: capacity_per_task.max(1),
             recorded_total: 0,
         }
@@ -195,7 +195,7 @@ mod tests {
         assert_eq!(s.recorded_total(), 3);
         // Only players 2 and 3 remain; sample many times and check.
         let mut r = rng();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             seen.insert(s.sample(TaskId::new(1), &mut r).unwrap().recorded_player);
         }

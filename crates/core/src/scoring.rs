@@ -8,7 +8,7 @@
 
 use crate::id::PlayerId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How round events convert into points.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -170,7 +170,7 @@ impl PlayerScore {
 #[derive(Debug, Clone)]
 pub struct Scoreboard {
     rule: ScoreRule,
-    scores: HashMap<PlayerId, PlayerScore>,
+    scores: BTreeMap<PlayerId, PlayerScore>,
 }
 
 impl Scoreboard {
@@ -179,7 +179,7 @@ impl Scoreboard {
     pub fn new(rule: ScoreRule) -> Self {
         Scoreboard {
             rule,
-            scores: HashMap::new(),
+            scores: BTreeMap::new(),
         }
     }
 

@@ -10,7 +10,7 @@
 use crate::answer::Label;
 use crate::id::{PlayerId, TaskId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, BTreeMap, BTreeSet};
 
 /// What a task presents to the player — an abstract stimulus reference.
 ///
@@ -140,10 +140,10 @@ impl PartialOrd for QueueEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TaskQueue {
-    tasks: HashMap<TaskId, Task>,
+    tasks: BTreeMap<TaskId, Task>,
     /// Lazy priority heap; entries may be stale and are validated on pop.
     heap: BinaryHeap<QueueEntry>,
-    seen: HashMap<PlayerId, HashSet<TaskId>>,
+    seen: BTreeMap<PlayerId, BTreeSet<TaskId>>,
 }
 
 impl TaskQueue {

@@ -51,12 +51,12 @@ pub fn normalize_label(raw: &str) -> String {
 pub fn singularize(word: &str) -> String {
     let w = word;
     if w.len() > 3 && w.ends_with("ies") {
-        return format!("{}y", &w[..w.len() - 3]);
+        return format!("{}y", &w[..w.len() - 3]); // hc-analyze: allow(P1): ends_with("ies") guarantees an ASCII suffix at least 3 bytes long
     }
     if w.len() > 3
         && (w.ends_with("xes") || w.ends_with("ses") || w.ends_with("shes") || w.ends_with("ches"))
     {
-        return w[..w.len() - 2].to_string();
+        return w[..w.len() - 2].to_string(); // hc-analyze: allow(P1): ends_with guarantees an ASCII suffix at least 2 bytes long
     }
     if w.len() > 2
         && w.ends_with('s')
@@ -64,7 +64,7 @@ pub fn singularize(word: &str) -> String {
         && !w.ends_with("us")
         && !w.ends_with("is")
     {
-        return w[..w.len() - 1].to_string();
+        return w[..w.len() - 1].to_string(); // hc-analyze: allow(P1): trailing ASCII s checked; len > 2
     }
     w.to_string()
 }
@@ -99,7 +99,7 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         curr[0] = i + 1;
         for (j, &sc) in short.iter().enumerate() {
             let sub_cost = if lc == sc { 0 } else { 1 };
-            curr[j + 1] = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+            curr[j + 1] = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(curr[j] + 1); // hc-analyze: allow(P1): j + 1 <= short.len(), the row width
         }
         std::mem::swap(&mut prev, &mut curr);
     }

@@ -18,7 +18,7 @@
 use crate::answer::Label;
 use crate::id::{PlayerId, TaskId};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A set of labels that may not be used for a task.
 ///
@@ -32,7 +32,7 @@ use std::collections::{HashMap, HashSet};
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TabooList {
-    labels: HashSet<Label>,
+    labels: BTreeSet<Label>,
 }
 
 impl TabooList {
@@ -89,9 +89,9 @@ impl TabooList {
 #[derive(Debug, Clone, Default)]
 pub struct AgreementTracker {
     /// (task, label) -> set of contributing pair signatures.
-    support: HashMap<(TaskId, Label), HashSet<(PlayerId, PlayerId)>>,
+    support: BTreeMap<(TaskId, Label), BTreeSet<(PlayerId, PlayerId)>>,
     threshold: u32,
-    promoted: HashSet<(TaskId, Label)>,
+    promoted: BTreeSet<(TaskId, Label)>,
 }
 
 impl AgreementTracker {
@@ -100,9 +100,9 @@ impl AgreementTracker {
     #[must_use]
     pub fn new(threshold: u32) -> Self {
         AgreementTracker {
-            support: HashMap::new(),
+            support: BTreeMap::new(),
             threshold: threshold.max(1),
-            promoted: HashSet::new(),
+            promoted: BTreeSet::new(),
         }
     }
 
@@ -202,8 +202,8 @@ impl GoldRecord {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GoldBank {
-    answers: HashMap<TaskId, HashSet<Label>>,
-    records: HashMap<PlayerId, GoldRecord>,
+    answers: BTreeMap<TaskId, BTreeSet<Label>>,
+    records: BTreeMap<PlayerId, GoldRecord>,
     /// Minimum accuracy to stay trusted once enough gold has been seen.
     min_accuracy: f64,
     /// Evidence threshold: below this many gold exposures, players are
@@ -218,8 +218,8 @@ impl GoldBank {
     #[must_use]
     pub fn new(min_accuracy: f64, min_evidence: u32) -> Self {
         GoldBank {
-            answers: HashMap::new(),
-            records: HashMap::new(),
+            answers: BTreeMap::new(),
+            records: BTreeMap::new(),
             min_accuracy: min_accuracy.clamp(0.0, 1.0),
             min_evidence: min_evidence.max(1),
         }

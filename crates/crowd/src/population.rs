@@ -83,7 +83,7 @@ impl ArchetypeMix {
     /// setup errors).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Behavior {
         let weights: Vec<f64> = self.entries.iter().map(|(_, w)| *w).collect();
-        let dist = DiscreteDist::new(&weights).expect("archetype mix must have valid weights");
+        let dist = DiscreteDist::new(&weights).expect("archetype mix must have valid weights"); // hc-analyze: allow(P1): documented # Panics contract for empty or invalid mixes
         self.entries[dist.sample(rng)].0.clone()
     }
 
@@ -252,8 +252,8 @@ impl Population {
 
     /// Count of players per archetype name.
     #[must_use]
-    pub fn archetype_counts(&self) -> std::collections::HashMap<&'static str, usize> {
-        let mut counts = std::collections::HashMap::new();
+    pub fn archetype_counts(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut counts = std::collections::BTreeMap::new();
         for p in &self.players {
             *counts.entry(p.archetype()).or_insert(0) += 1;
         }

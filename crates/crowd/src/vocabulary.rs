@@ -42,7 +42,7 @@ impl Vocabulary {
     /// are programming errors in experiment setup).
     #[must_use]
     pub fn new(size: usize, exponent: f64) -> Self {
-        let zipf = Zipf::new(size, exponent).expect("valid vocabulary parameters");
+        let zipf = Zipf::new(size, exponent).expect("valid vocabulary parameters"); // hc-analyze: allow(P1): documented # Panics contract for size == 0 or bad exponent
         let labels = (0..size).map(|i| Label::new(&format!("w{i}"))).collect();
         Vocabulary { labels, zipf }
     }
@@ -200,8 +200,8 @@ impl LabelDistribution {
     /// confusable two stimuli are for input-agreement verdicts.
     #[must_use]
     pub fn support_overlap(&self, other: &LabelDistribution) -> f64 {
-        let a: std::collections::HashSet<&Label> = self.labels.iter().collect();
-        let b: std::collections::HashSet<&Label> = other.labels.iter().collect();
+        let a: std::collections::BTreeSet<&Label> = self.labels.iter().collect();
+        let b: std::collections::BTreeSet<&Label> = other.labels.iter().collect();
         let inter = a.intersection(&b).count();
         let union = a.union(&b).count();
         if union == 0 {
@@ -261,7 +261,7 @@ mod tests {
     fn uniform_sampling_covers_tail() {
         let v = Vocabulary::new(10, 2.0);
         let mut r = rng();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..1000 {
             seen.insert(v.sample_uniform(&mut r));
         }

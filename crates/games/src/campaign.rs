@@ -8,26 +8,23 @@
 //! duplicating the event loop. Games without a replay-bot story simply
 //! drop timed-out players back into the queue at their next sitting.
 
+use crate::params::SessionParams;
 use crate::world::WorldConfig;
 use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, EngagementModel, Population, PopulationBuilder};
 use hc_sim::dist::Exponential;
 use hc_sim::{EventQueue, RngFactory, SimRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Drives one session of a concrete game between two live players.
 pub trait SessionDriver {
     /// Plays one session, returning the transcript (already recorded into
     /// the platform by the game's session function).
-    #[allow(clippy::too_many_arguments)] // mirrors the play_*_session signatures
     fn play(
         &mut self,
         platform: &mut Platform,
         population: &mut Population,
-        left: PlayerId,
-        right: PlayerId,
-        session_id: SessionId,
-        start: SimTime,
+        params: SessionParams,
         rng: &mut SimRng,
     ) -> SessionTranscript;
 
@@ -116,7 +113,7 @@ pub struct Campaign<D: SessionDriver> {
     config: CampaignConfig,
     platform: Platform,
     population: Population,
-    plans: HashMap<PlayerId, Plan>,
+    plans: BTreeMap<PlayerId, Plan>,
     session_ids: hc_core::id::IdAllocator<SessionId>,
     rng: SimRng,
     sessions: u64,
@@ -130,7 +127,7 @@ impl<D: SessionDriver> Campaign<D> {
     /// Panics when the platform config is invalid.
     pub fn new(mut driver: D, config: CampaignConfig, seed: u64) -> Self {
         let factory = RngFactory::new(seed);
-        let mut platform = Platform::new(config.platform).expect("valid platform config");
+        let mut platform = Platform::new(config.platform).expect("valid platform config"); // hc-analyze: allow(P1): documented # Panics contract for invalid experiment configs
         driver.register(&mut platform);
         let mut pop_rng = factory.stream("population");
         let population = PopulationBuilder::new(config.players)
@@ -171,7 +168,7 @@ impl<D: SessionDriver> Campaign<D> {
     pub fn run(&mut self) -> CampaignReport {
         let mut queue: EventQueue<Ev> = EventQueue::new();
         let spread = Exponential::new(1.0 / self.config.arrival_spread.as_secs_f64().max(1e-6))
-            .expect("positive spread");
+            .expect("positive spread"); // hc-analyze: allow(P1): rate argument clamped to at least 1e-6
         let ids: Vec<PlayerId> = self.population.players().iter().map(|p| p.id).collect();
         for p in &ids {
             queue.push(
@@ -192,7 +189,7 @@ impl<D: SessionDriver> Campaign<D> {
                         let gap = Exponential::new(
                             1.0 / self.config.mean_return_gap.as_secs_f64().max(1e-6),
                         )
-                        .expect("positive gap")
+                        .expect("positive gap") // hc-analyze: allow(P1): rate argument clamped to at least 1e-6
                         .sample(&mut self.rng);
                         queue.push(now + SimDuration::from_secs_f64(gap), Ev::Arrival(p));
                     }
@@ -211,7 +208,7 @@ impl<D: SessionDriver> Campaign<D> {
 
     fn handle_arrival(&mut self, queue: &mut EventQueue<Ev>, now: SimTime, player: PlayerId) {
         {
-            let plan = self.plans.get_mut(&player).expect("planned player");
+            let plan = self.plans.get_mut(&player).expect("planned player"); // hc-analyze: allow(P1): every registered player gets a plan at construction
             if plan.remaining.is_zero() {
                 let Some(len) = plan.sittings.get(plan.next).copied() else {
                     return; // churned for good
@@ -230,10 +227,7 @@ impl<D: SessionDriver> Campaign<D> {
                 let t = self.driver.play(
                     &mut self.platform,
                     &mut self.population,
-                    partner,
-                    player,
-                    sid,
-                    now,
+                    SessionParams::pair(partner, player, sid, now),
                     &mut self.rng,
                 );
                 self.sessions += 1;
@@ -259,7 +253,7 @@ impl<D: SessionDriver> Campaign<D> {
         player: PlayerId,
         played: SimDuration,
     ) {
-        let plan = self.plans.get_mut(&player).expect("planned player");
+        let plan = self.plans.get_mut(&player).expect("planned player"); // hc-analyze: allow(P1): every registered player gets a plan at construction
         plan.remaining = plan
             .remaining
             .saturating_sub(played.max(SimDuration::from_secs(1)));
@@ -267,7 +261,7 @@ impl<D: SessionDriver> Campaign<D> {
             queue.push(end, Ev::Arrival(player));
         } else if plan.next < plan.sittings.len() {
             let gap = Exponential::new(1.0 / self.config.mean_return_gap.as_secs_f64().max(1e-6))
-                .expect("positive gap")
+                .expect("positive gap") // hc-analyze: allow(P1): rate argument clamped to at least 1e-6
                 .sample(&mut self.rng);
             queue.push(end + SimDuration::from_secs_f64(gap), Ev::Arrival(player));
         }
@@ -304,20 +298,17 @@ impl SessionDriver for TagATuneDriver {
         &mut self,
         platform: &mut Platform,
         population: &mut Population,
-        left: PlayerId,
-        right: PlayerId,
-        session_id: SessionId,
-        start: SimTime,
+        params: SessionParams,
         rng: &mut SimRng,
     ) -> SessionTranscript {
         crate::tagatune::play_tagatune_session(
             platform,
             &self.world,
             population,
-            left,
-            right,
-            session_id,
-            start,
+            params.left(),
+            params.right(),
+            params.session_id,
+            params.start,
             self.p_same,
             rng,
         )
@@ -355,17 +346,14 @@ impl SessionDriver for VerbosityDriver {
         &mut self,
         platform: &mut Platform,
         population: &mut Population,
-        left: PlayerId,
-        right: PlayerId,
-        session_id: SessionId,
-        start: SimTime,
+        params: SessionParams,
         rng: &mut SimRng,
     ) -> SessionTranscript {
         self.flip = !self.flip;
         let (narrator, guesser) = if self.flip {
-            (left, right)
+            (params.left(), params.right())
         } else {
-            (right, left)
+            (params.right(), params.left())
         };
         crate::verbosity::play_verbosity_session(
             platform,
@@ -373,8 +361,8 @@ impl SessionDriver for VerbosityDriver {
             population,
             narrator,
             guesser,
-            session_id,
-            start,
+            params.session_id,
+            params.start,
             rng,
         )
     }

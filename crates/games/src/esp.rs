@@ -15,11 +15,12 @@
 
 use crate::world::{BaseWorld, WorldConfig};
 use hc_core::prelude::*;
+use crate::params::SessionParams;
 use hc_crowd::{ArchetypeMix, EngagementModel, Population, PopulationBuilder};
 use hc_sim::dist::Exponential;
 use hc_sim::{EventQueue, RngFactory, SimRng};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Maximum answers one seat may produce in one round — the published ESP
 /// interface shows players typing on the order of a dozen guesses per
@@ -120,17 +121,18 @@ impl EspWorld {
 
 /// Drives one live two-player session; returns the transcript (already
 /// recorded into the platform).
-#[allow(clippy::too_many_arguments)]
 pub fn play_esp_session<R: Rng + ?Sized>(
     platform: &mut Platform,
     world: &EspWorld,
     population: &mut Population,
-    left: PlayerId,
-    right: PlayerId,
-    session_id: SessionId,
-    start: SimTime,
+    params: SessionParams,
     rng: &mut R,
 ) -> SessionTranscript {
+    let SessionParams {
+        seats: [left, right],
+        session_id,
+        start,
+    } = params;
     let cfg = platform.config().session;
     let mut session = Session::new(session_id, [left, right], start, cfg);
     let mut now = start;
@@ -150,7 +152,7 @@ pub fn play_esp_session<R: Rng + ?Sized>(
 
         let (pa, pb) = population
             .get_pair_mut(left, right)
-            .expect("both players exist and are distinct");
+            .expect("both players exist and are distinct"); // hc-analyze: allow(P1): callers pass two distinct registered ids
         let mut profiles = [pa, pb];
         let mut cursors = [now, now];
         let mut guesses_left = [MAX_GUESSES_PER_SEAT; 2];
@@ -161,7 +163,7 @@ pub fn play_esp_session<R: Rng + ?Sized>(
         loop {
             // The seat whose next action is earliest moves.
             let seat_idx = if cursors[0] <= cursors[1] { 0 } else { 1 };
-            if guesses_left[seat_idx] == 0 && guesses_left[1 - seat_idx] == 0 {
+            if guesses_left[seat_idx] == 0 && guesses_left[1 - seat_idx] == 0 { // hc-analyze: allow(P1): seat_idx is 0 or 1 by construction
                 break;
             }
             if guesses_left[seat_idx] == 0 {
@@ -257,11 +259,11 @@ pub fn play_esp_replay_session<R: Rng + ?Sized>(
     platform: &mut Platform,
     world: &EspWorld,
     population: &mut Population,
-    player: PlayerId,
-    session_id: SessionId,
-    start: SimTime,
+    params: SessionParams,
     rng: &mut R,
 ) -> SessionTranscript {
+    let player = params.left();
+    let (session_id, start) = (params.session_id, params.start);
     let cfg = platform.config().session;
     // The replay partner keeps its recorded identity for pair accounting;
     // sessions are created against a synthetic "bot seat" of the recorded
@@ -295,7 +297,7 @@ pub fn play_esp_replay_session<R: Rng + ?Sized>(
             .unwrap_or_default();
         bot_events.reverse(); // pop() from the back = chronological order
 
-        let profile = population.get_mut(player).expect("player exists");
+        let profile = population.get_mut(player).expect("player exists"); // hc-analyze: allow(P1): callers pass a registered id
         let mut cursor = now;
         let mut guesses_left = MAX_GUESSES_PER_SEAT;
         let mut trace: Vec<(SimDuration, Label)> = Vec::new();
@@ -324,7 +326,7 @@ pub fn play_esp_replay_session<R: Rng + ?Sized>(
                 guesses_left -= 1;
                 (Seat::Left, cursor, answer)
             } else {
-                let (t, l) = bot_events.pop().expect("checked non-empty");
+                let (t, l) = bot_events.pop().expect("checked non-empty"); // hc-analyze: allow(P1): branch taken only when bot_events is non-empty
                 (Seat::Right, t, Answer::Text(l))
             };
             if at > deadline {
@@ -480,7 +482,7 @@ pub struct EspCampaign {
     platform: Platform,
     world: EspWorld,
     population: Population,
-    plans: HashMap<PlayerId, PlanState>,
+    plans: BTreeMap<PlayerId, PlanState>,
     session_ids: hc_core::id::IdAllocator<SessionId>,
     rng: SimRng,
     live_sessions: u64,
@@ -499,7 +501,7 @@ impl EspCampaign {
         let factory = RngFactory::new(seed);
         let mut world_rng = factory.stream("world");
         let world = EspWorld::generate(&config.world, &mut world_rng);
-        let mut platform = Platform::new(config.platform).expect("valid platform config");
+        let mut platform = Platform::new(config.platform).expect("valid platform config"); // hc-analyze: allow(P1): documented # Panics contract for invalid experiment configs
         world.register_tasks(&mut platform);
         let mut pop_rng = factory.stream("population");
         let population = PopulationBuilder::new(config.players)
@@ -544,7 +546,7 @@ impl EspCampaign {
         let mut queue: EventQueue<CampaignEvent> = EventQueue::new();
         // First arrivals: exponential spread across the opening window.
         let spread = Exponential::new(1.0 / self.config.arrival_spread.as_secs_f64().max(1e-6))
-            .expect("positive spread");
+            .expect("positive spread"); // hc-analyze: allow(P1): rate argument clamped to at least 1e-6
         let ids: Vec<PlayerId> = self.population.players().iter().map(|p| p.id).collect();
         for p in &ids {
             let at = SimTime::from_secs_f64(spread.sample(&mut self.rng));
@@ -579,7 +581,7 @@ impl EspCampaign {
         self.platform.set_time(now);
         // Starting a fresh sitting?
         {
-            let plan = self.plans.get_mut(&player).expect("planned player");
+            let plan = self.plans.get_mut(&player).expect("planned player"); // hc-analyze: allow(P1): every registered player gets a plan at construction
             if plan.remaining.is_zero() {
                 let Some(len) = plan.sittings.get(plan.next).copied() else {
                     return; // churned
@@ -599,10 +601,7 @@ impl EspCampaign {
                     &mut self.platform,
                     &self.world,
                     &mut self.population,
-                    partner,
-                    player,
-                    sid,
-                    now,
+                    SessionParams::pair(partner, player, sid, now),
                     &mut self.rng,
                 );
                 self.live_sessions += 1;
@@ -625,9 +624,7 @@ impl EspCampaign {
                 &mut self.platform,
                 &self.world,
                 &mut self.population,
-                player,
-                sid,
-                now,
+                SessionParams::solo(player, sid, now),
                 &mut self.rng,
             );
             self.replay_sessions += 1;
@@ -645,7 +642,7 @@ impl EspCampaign {
         player: PlayerId,
         played: SimDuration,
     ) {
-        let plan = self.plans.get_mut(&player).expect("planned player");
+        let plan = self.plans.get_mut(&player).expect("planned player"); // hc-analyze: allow(P1): every registered player gets a plan at construction
         plan.remaining = plan
             .remaining
             .saturating_sub(played.max(SimDuration::from_secs(1)));
@@ -653,7 +650,7 @@ impl EspCampaign {
             queue.push(end, CampaignEvent::Arrival(player));
         } else if plan.next < plan.sittings.len() {
             let gap = Exponential::new(1.0 / self.config.mean_return_gap.as_secs_f64().max(1e-6))
-                .expect("positive gap")
+                .expect("positive gap") // hc-analyze: allow(P1): rate argument clamped to at least 1e-6
                 .sample(&mut self.rng);
             queue.push(
                 end + SimDuration::from_secs_f64(gap),
@@ -746,15 +743,12 @@ mod tests {
     fn honest_pairs_match_and_verify() {
         let (mut platform, world, mut pop, mut r) = setup(2, ArchetypeMix::all_honest());
         let t = play_esp_session(
-            &mut platform,
-            &world,
-            &mut pop,
-            PlayerId::new(0),
-            PlayerId::new(1),
-            SessionId::new(0),
-            SimTime::ZERO,
-            &mut r,
-        );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
+        &mut r,
+    );
         assert!(t.rounds() > 0);
         assert!(t.match_rate() > 0.5, "honest match rate {}", t.match_rate());
         assert!(!platform.verified_labels().is_empty());
@@ -786,15 +780,12 @@ mod tests {
         let mut rounds = 0;
         for s in 0..6 {
             let t = play_esp_session(
-                &mut platform,
-                &world,
-                &mut pop,
-                PlayerId::new(0),
-                PlayerId::new(1),
-                SessionId::new(s),
-                SimTime::from_secs(s * 1000),
-                &mut r,
-            );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(s), SimTime::from_secs(s * 1000)),
+        &mut r,
+    );
             matched += t.matched_count();
             rounds += t.rounds();
         }
@@ -806,15 +797,12 @@ mod tests {
     fn session_respects_budgets() {
         let (mut platform, world, mut pop, mut r) = setup(2, ArchetypeMix::all_honest());
         let t = play_esp_session(
-            &mut platform,
-            &world,
-            &mut pop,
-            PlayerId::new(0),
-            PlayerId::new(1),
-            SessionId::new(0),
-            SimTime::ZERO,
-            &mut r,
-        );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
+        &mut r,
+    );
         assert!(t.rounds() <= 15);
         // Duration can exceed the limit only by the final round + gap.
         assert!(t.duration() < SimDuration::from_secs(150 + 150 + 5));
@@ -824,15 +812,12 @@ mod tests {
     fn sessions_record_replay_traces() {
         let (mut platform, world, mut pop, mut r) = setup(2, ArchetypeMix::all_honest());
         play_esp_session(
-            &mut platform,
-            &world,
-            &mut pop,
-            PlayerId::new(0),
-            PlayerId::new(1),
-            SessionId::new(0),
-            SimTime::ZERO,
-            &mut r,
-        );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
+        &mut r,
+    );
         assert!(platform.replay().covered_tasks() > 0);
     }
 
@@ -841,25 +826,20 @@ mod tests {
         let (mut platform, world, mut pop, mut r) = setup(3, ArchetypeMix::all_honest());
         // Seed recordings with a live session between 0 and 1.
         play_esp_session(
-            &mut platform,
-            &world,
-            &mut pop,
-            PlayerId::new(0),
-            PlayerId::new(1),
-            SessionId::new(0),
-            SimTime::ZERO,
-            &mut r,
-        );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
+        &mut r,
+    );
         let before = platform.verified_labels().len();
         let t = play_esp_replay_session(
-            &mut platform,
-            &world,
-            &mut pop,
-            PlayerId::new(2),
-            SessionId::new(1),
-            SimTime::from_secs(1000),
-            &mut r,
-        );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::solo(PlayerId::new(2), SessionId::new(1), SimTime::from_secs(1000)),
+        &mut r,
+    );
         assert!(t.rounds() > 0);
         // Replay rounds on recorded tasks can verify new labels (not
         // guaranteed every seed, but the pipeline must not error and the

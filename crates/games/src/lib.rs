@@ -26,6 +26,7 @@
 //! use hc_core::prelude::*;
 //! use hc_crowd::{ArchetypeMix, PopulationBuilder};
 //! use hc_games::esp::{play_esp_session, EspWorld};
+//! use hc_games::params::SessionParams;
 //! use hc_games::world::WorldConfig;
 //! use rand::SeedableRng;
 //!
@@ -39,8 +40,9 @@
 //!     .build(&mut rng);
 //! let (a, b) = (PlayerId::new(0), PlayerId::new(1));
 //! let transcript = play_esp_session(
-//!     &mut platform, &world, &mut pop, a, b,
-//!     SessionId::new(0), SimTime::ZERO, &mut rng,
+//!     &mut platform, &world, &mut pop,
+//!     SessionParams::pair(a, b, SessionId::new(0), SimTime::ZERO),
+//!     &mut rng,
 //! );
 //! assert!(transcript.rounds() > 0);
 //! ```
@@ -52,6 +54,7 @@
 pub mod campaign;
 pub mod esp;
 pub mod matchin;
+pub mod params;
 pub mod peekaboom;
 pub mod squigl;
 pub mod tagatune;
@@ -62,6 +65,7 @@ pub use campaign::{
     Campaign, CampaignConfig, CampaignReport, SessionDriver, TagATuneDriver, VerbosityDriver,
 };
 pub use esp::{EspCampaign, EspCampaignConfig, EspCampaignReport, EspWorld};
+pub use params::SessionParams;
 pub use matchin::{play_matchin_session, BradleyTerryRanking, MatchinWorld};
 pub use peekaboom::{play_peekaboom_session, PeekaboomWorld};
 pub use squigl::{play_squigl_session, SquiglWorld};

@@ -186,7 +186,7 @@ pub fn play_matchin_session<R: Rng + ?Sized>(
         }
         let (pa, pb) = population
             .get_pair_mut(left, right)
-            .expect("players exist and are distinct");
+            .expect("players exist and are distinct"); // hc-analyze: allow(P1): callers pass two distinct registered ids
         let mut choices = [0usize; 2];
         let mut duration = SimDuration::ZERO;
         for (idx, profile) in [pa, pb].into_iter().enumerate() {

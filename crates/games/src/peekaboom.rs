@@ -182,7 +182,7 @@ pub fn play_peekaboom_session<R: Rng + ?Sized>(
         let deadline = now + cfg.round_time_limit;
         let (pb, pp) = population
             .get_pair_mut(boom, peek)
-            .expect("players exist and are distinct");
+            .expect("players exist and are distinct"); // hc-analyze: allow(P1): callers pass two distinct registered ids
         let mut cursor = now;
         let mut reveals: Vec<Region> = Vec::new();
         let mut end = deadline;
@@ -217,7 +217,7 @@ pub fn play_peekaboom_session<R: Rng + ?Sized>(
                     (1.0 - p_word) / 2.0 + 1e-9,
                 ),
             ])
-            .expect("valid candidate weights");
+            .expect("valid candidate weights"); // hc-analyze: allow(P1): candidate weights are positive by construction
             for _ in 0..GUESSES_PER_REVEAL {
                 let guess = pp
                     .behavior

@@ -135,7 +135,7 @@ pub fn play_tagatune_session<R: Rng + ?Sized>(
         let deadline = now + cfg.round_time_limit;
         let (pa, pb) = population
             .get_pair_mut(left, right)
-            .expect("players exist and are distinct");
+            .expect("players exist and are distinct"); // hc-analyze: allow(P1): callers pass two distinct registered ids
         let mut profiles = [pa, pb];
         let truths = [truth_l, truth_r];
         let mut cursor = now;

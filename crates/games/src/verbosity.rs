@@ -140,7 +140,7 @@ impl VerbosityWorld {
                         (fact_label(relation, obj), truth.pmf_of(obj))
                     })
                     .collect();
-                LabelDistribution::new(pairs).expect("truth weights are valid")
+                LabelDistribution::new(pairs).expect("truth weights are valid") // hc-analyze: allow(P1): pmf values are valid non-negative weights
             })
             .collect();
         VerbosityWorld {
@@ -253,7 +253,7 @@ pub fn play_verbosity_session<R: Rng + ?Sized>(
         let deadline = now + cfg.round_time_limit;
         let (pn, pg) = population
             .get_pair_mut(narrator, guesser)
-            .expect("players exist and are distinct");
+            .expect("players exist and are distinct"); // hc-analyze: allow(P1): callers pass two distinct registered ids
         let empty_taboo = TabooList::new();
         let mut cursor = now;
         let mut hints_sent = 0usize;

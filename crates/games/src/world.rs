@@ -117,7 +117,7 @@ pub fn sample_stimulus_truth<R: Rng + ?Sized>(
         .enumerate()
         .map(|(i, l)| (l, config.weight_decay.powi(i as i32)))
         .collect();
-    LabelDistribution::new(pairs).expect("constructed weights are valid")
+    LabelDistribution::new(pairs).expect("constructed weights are valid") // hc-analyze: allow(P1): decayed weights are positive and finite
 }
 
 /// The generic world: one truth distribution per stimulus, plus the shared
@@ -137,7 +137,7 @@ impl BaseWorld {
     ///
     /// Panics when the config is invalid (experiment setup error).
     pub fn generate<R: Rng + ?Sized>(config: &WorldConfig, rng: &mut R) -> Self {
-        config.validate().expect("world config must be valid");
+        config.validate().expect("world config must be valid"); // hc-analyze: allow(P1): documented # Panics contract for invalid configs
         let vocabulary = Vocabulary::new(config.vocabulary, config.zipf_exponent);
         let truths = (0..config.stimuli)
             .map(|_| sample_stimulus_truth(config, &vocabulary, rng))

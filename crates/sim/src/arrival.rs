@@ -97,7 +97,7 @@ impl ArrivalProcess for PoissonProcess {
         if self.rate_per_sec <= 0.0 {
             return SimTime::MAX;
         }
-        let exp = Exponential::new(self.rate_per_sec).expect("constructor validated rate");
+        let exp = Exponential::new(self.rate_per_sec).expect("constructor validated rate"); // hc-analyze: allow(P1): rate checked positive two lines up
         let gap = exp.sample(rng).max(1e-6); // at least one tick
         after + SimDuration::from_secs_f64(gap)
     }
@@ -160,7 +160,7 @@ impl ArrivalProcess for DiurnalProcess {
         if peak <= 0.0 {
             return SimTime::MAX;
         }
-        let envelope = Exponential::new(peak).expect("peak > 0");
+        let envelope = Exponential::new(peak).expect("peak > 0"); // hc-analyze: allow(P1): peak checked positive two lines up
         let mut t = after;
         // Lewis–Shedler thinning: propose from the homogeneous envelope,
         // accept with probability rate(t)/peak.

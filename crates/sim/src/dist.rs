@@ -332,7 +332,7 @@ impl Zipf {
             return 0.0;
         }
         let hi = self.cdf[rank];
-        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] }; // hc-analyze: allow(P1): rank == 0 guard on this line bounds the subtraction
         hi - lo
     }
 
@@ -341,7 +341,7 @@ impl Zipf {
         let u: f64 = rng.gen();
         match self
             .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite"))
+            .binary_search_by(|c| c.total_cmp(&u))
         {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
@@ -407,7 +407,7 @@ impl DiscreteDist {
             return 0.0;
         }
         let hi = self.cdf[i];
-        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] }; // hc-analyze: allow(P1): i == 0 guard on this line bounds the subtraction
         hi - lo
     }
 
@@ -416,7 +416,7 @@ impl DiscreteDist {
         let u: f64 = rng.gen();
         match self
             .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf entries are finite"))
+            .binary_search_by(|c| c.total_cmp(&u))
         {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),

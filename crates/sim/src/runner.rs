@@ -118,9 +118,11 @@ impl<E> Simulation<E> {
                     return StepOutcome::HorizonReached;
                 }
                 Some(_) => {
-                    let (t, ev) = self.queue.pop().expect("peeked non-empty");
-                    self.now = t;
-                    handler(self, t, ev);
+                    // The peek above saw an event, so the pop yields it.
+                    if let Some((t, ev)) = self.queue.pop() {
+                        self.now = t;
+                        handler(self, t, ev);
+                    }
                 }
             }
         }

@@ -250,7 +250,7 @@ impl SampleSet {
     fn ensure_sorted(&mut self) {
         if !self.sorted {
             self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+                .sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }

@@ -35,10 +35,7 @@ fn main() {
         &mut platform,
         &world,
         &mut population,
-        a,
-        b,
-        SessionId::new(0),
-        SimTime::ZERO,
+        SessionParams::pair(a, b, SessionId::new(0), SimTime::ZERO),
         &mut rng,
     );
 

@@ -41,8 +41,11 @@
 //! platform.register_player();
 //! let transcript = play_esp_session(
 //!     &mut platform, &world, &mut population,
-//!     PlayerId::new(0), PlayerId::new(1),
-//!     SessionId::new(0), SimTime::ZERO, &mut rng,
+//!     SessionParams::pair(
+//!         PlayerId::new(0), PlayerId::new(1),
+//!         SessionId::new(0), SimTime::ZERO,
+//!     ),
+//!     &mut rng,
 //! );
 //! println!(
 //!     "{} rounds, {} verified labels",
@@ -98,6 +101,7 @@ pub mod prelude {
     };
     pub use hc_games::{
         esp::{play_esp_replay_session, play_esp_session},
+        params::SessionParams,
         matchin::play_matchin_session,
         peekaboom::play_peekaboom_session,
         squigl::play_squigl_session,

@@ -25,6 +25,46 @@ fn esp_campaigns_are_bit_identical_per_seed() {
     assert_ne!(run(5), run(6), "different seeds should diverge");
 }
 
+/// The regression locked in by the BTreeMap conversion in `hc-core`:
+/// label-store snapshots of two same-seed runs must be *byte*-identical,
+/// not merely equal as multisets. Iterating a `HashMap` anywhere on the
+/// serving or verification path would scramble insertion order between
+/// processes and break this.
+#[test]
+fn same_seed_runs_emit_byte_identical_label_snapshots() {
+    let snapshot = |seed: u64| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cfg = WorldConfig::small();
+        cfg.stimuli = 120;
+        let world = EspWorld::generate(&cfg, &mut rng);
+        let mut platform = Platform::new(PlatformConfig::default()).expect("valid config");
+        world.register_tasks(&mut platform);
+        let mut pop = PopulationBuilder::new(8)
+            .mix(ArchetypeMix::realistic())
+            .build(&mut rng);
+        for _ in 0..8 {
+            platform.register_player();
+        }
+        for s in 0..60u64 {
+            let a = PlayerId::new(s % 8);
+            let b = PlayerId::new((s + 1 + s / 8) % 8);
+            let b = if a == b { PlayerId::new((b.raw() + 1) % 8) } else { b };
+            play_esp_session(
+                &mut platform,
+                &world,
+                &mut pop,
+                SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 500)),
+                &mut rng,
+            );
+        }
+        serde_json::to_string(platform.verified_labels()).expect("serializable labels")
+    };
+    let a = snapshot(17);
+    let b = snapshot(17);
+    assert!(!a.is_empty() && a != "[]", "campaign produced no labels");
+    assert_eq!(a, b, "same-seed label snapshots differ byte-for-byte");
+}
+
 #[test]
 fn recaptcha_pipelines_are_deterministic() {
     let run = |seed: u64| {

@@ -15,21 +15,22 @@ fn run_sessions(
     rng: &mut rand::rngs::StdRng,
 ) {
     for s in 0..sessions {
-        let a = PlayerId::new((2 * s) % PLAYERS as u64);
-        let mut b = PlayerId::new((2 * s + 1 + s / PLAYERS as u64) % PLAYERS as u64);
+        // Rotate every id through the left seat and sweep the partner
+        // offset so all circular pairings occur; a fixed even/odd split
+        // here would make some player subsets (e.g. colluders landing on
+        // odd ids only) unable to ever meet each other.
+        let a = PlayerId::new(s % PLAYERS as u64);
+        let mut b = PlayerId::new((s + 1 + s / PLAYERS as u64) % PLAYERS as u64);
         if a == b {
             b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
         }
         play_esp_session(
-            platform,
-            world,
-            pop,
-            a,
-            b,
-            SessionId::new(s),
-            SimTime::from_secs(s * 1_000),
-            rng,
-        );
+        platform,
+        world,
+        pop,
+        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+        rng,
+    );
     }
 }
 
@@ -214,14 +215,12 @@ fn replay_fallback_preserves_label_quality() {
     for s in 0..30u64 {
         let p = PlayerId::new(s % PLAYERS as u64);
         play_esp_replay_session(
-            &mut platform,
-            &world,
-            &mut pop,
-            p,
-            SessionId::new(1_000 + s),
-            SimTime::from_secs(100_000 + s * 1_000),
-            &mut rng,
-        );
+        &mut platform,
+        &world,
+        &mut pop,
+        SessionParams::solo(p, SessionId::new(1_000 + s), SimTime::from_secs(100_000 + s * 1_000)),
+        &mut rng,
+    );
     }
     let (correct, total) = world.verified_precision(&platform);
     assert!(

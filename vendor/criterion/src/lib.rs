@@ -1,0 +1,243 @@
+//! Offline stand-in for `criterion`: same macro and builder surface
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`/`bench_with_input`, `Bencher::iter`), backed by a
+//! plain wall-clock timer instead of statistical sampling.
+//!
+//! Under `cargo test` (no `--bench` flag) every routine runs exactly once
+//! as a smoke test; under `cargo bench` each routine is timed adaptively
+//! and a `ns/iter` line is printed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-target measurement budget in bench mode.
+const BENCH_BUDGET: Duration = Duration::from_millis(20);
+
+/// Entry point object handed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    bench_mode: bool,
+    benches_run: u32,
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments; cargo passes
+    /// `--bench` when invoked via `cargo bench` and `--test` via
+    /// `cargo test`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            bench_mode,
+            benches_run: 0,
+        }
+    }
+
+    /// Registers and immediately runs one benchmark routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, |b| routine(b));
+        self
+    }
+
+    /// Opens a named group; the group is purely a label prefix here.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Prints a closing line in bench mode.
+    pub fn final_summary(&self) {
+        if self.bench_mode {
+            println!("criterion-lite: {} benchmarks measured", self.benches_run);
+        }
+    }
+
+    fn run_one(&mut self, name: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.bench_mode {
+            // Grow the iteration count until the routine fills the budget.
+            loop {
+                routine(&mut bencher);
+                if bencher.elapsed >= BENCH_BUDGET || bencher.iterations >= u64::MAX / 2 {
+                    break;
+                }
+                bencher.iterations *= 2;
+            }
+            let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
+            println!(
+                "bench {name}: {per_iter} ns/iter ({} iters)",
+                bencher.iterations
+            );
+        } else {
+            // Test mode: one pass proves the routine doesn't panic.
+            routine(&mut bencher);
+        }
+        self.benches_run += 1;
+    }
+}
+
+/// A labelled sub-collection of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a routine parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        self.parent.run_one(&label, |b| routine(b, input));
+        self
+    }
+
+    /// Runs an unparameterised routine inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.parent.run_one(&label, |b| routine(b));
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus a parameter rendered into the label.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this pass's iteration count.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions under one group function, mirroring the
+/// real macro's `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            benches_run: 0,
+        };
+        let mut calls = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(c.benches_run, 1);
+    }
+
+    #[test]
+    fn groups_prefix_labels_and_run() {
+        let mut c = Criterion {
+            bench_mode: false,
+            benches_run: 0,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut hits = 0;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
+            b.iter(|| hits += n);
+        });
+        group.finish();
+        assert_eq!(hits, 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline stand-in for `crossbeam`: just the `thread::scope` API the
+//! workspace uses, implemented over `std::thread::scope` (safe, no
+//! dependencies). The crossbeam-style closure argument (`|scope| ...`,
+//! `spawn(|_| ...)`) is preserved.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error payload of a panicked child thread.
+    pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning threads that may borrow from the caller's stack.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        ///
+        /// # Errors
+        ///
+        /// Returns the boxed panic payload if the thread panicked.
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope again so it could spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors crossbeam's signature. Unlike crossbeam, an unjoined
+    /// panicking child propagates its panic through `std::thread::scope`
+    /// instead of surfacing here, so in practice this returns `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_and_fill_slots() {
+        let mut slots = vec![0u64; 4];
+        crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    *slot = (i as u64 + 1) * 10;
+                }));
+            }
+            for h in handles {
+                h.join().expect("child panicked");
+            }
+        })
+        .expect("scope");
+        assert_eq!(slots, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn join_reports_child_panics() {
+        crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .expect("scope");
+    }
+}

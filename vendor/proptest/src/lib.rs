@@ -1,0 +1,807 @@
+//! Offline stand-in for `proptest`: a deterministic strategy subset
+//! (ranges, regex-lite strings, tuples, `collection::vec`, `option::of`,
+//! `any::<T>()`, `Just`) plus the `proptest!`/`prop_assert*` macros.
+//!
+//! No shrinking: a failing case panics with the case index so it can be
+//! replayed (generation is a pure function of test name + case index).
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// Deterministic per-case RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64-based generator; the stream is a pure function of the test
+/// name and case index, so every run explores the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the RNG for one test case.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = TestRng {
+            state: h ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        };
+        // Warm up so nearby case indices decorrelate.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit output (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is ~2^-64 * n — irrelevant for test generation.
+        self.next_u64() % n
+    }
+
+    fn below_u128(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        if let Ok(small) = u64::try_from(n) {
+            u128::from(self.below(small))
+        } else {
+            let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            wide % n
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and primitive strategies
+// ---------------------------------------------------------------------------
+
+/// A generator of test values, driven by [`TestRng`].
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                (*self.start() as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let x = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                // Guard against rounding up to the excluded endpoint.
+                if x >= self.end { self.start } else { x }
+            }
+        }
+    )*};
+}
+
+float_range_strategies!(f32, f64);
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Bounded span keeps downstream arithmetic finite.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// Element-count bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+/// `prop::collection` — sized containers of an element strategy.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values from `elem`, length within `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::option` — optional values.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`; `None` roughly one time in five.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Optional value from `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(5) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategy
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Dot,
+    Class(Vec<(char, char)>),
+    Group(Vec<(Node, Quant)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const ONCE: Quant = Quant { min: 1, max: 1 };
+/// Cap for unbounded quantifiers (`*`, `+`, `{m,}`).
+const UNBOUNDED_CAP: u32 = 8;
+
+fn parse_pattern(pattern: &str) -> Vec<(Node, Quant)> {
+    let mut chars = pattern.chars().peekable();
+    let seq = parse_seq(&mut chars, pattern);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced `)` in pattern `{pattern}`"
+    );
+    seq
+}
+
+fn parse_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(Node, Quant)> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            break;
+        }
+        chars.next();
+        let node = match c {
+            '(' => {
+                let inner = parse_seq(chars, pattern);
+                assert_eq!(
+                    chars.next(),
+                    Some(')'),
+                    "unclosed group in pattern `{pattern}`"
+                );
+                Node::Group(inner)
+            }
+            '[' => Node::Class(parse_class(chars, pattern)),
+            '.' => Node::Dot,
+            '\\' => Node::Lit(chars.next().unwrap_or_else(|| {
+                panic!("dangling escape in pattern `{pattern}`")
+            })),
+            '|' | '^' | '$' => panic!("unsupported regex feature `{c}` in `{pattern}`"),
+            other => Node::Lit(other),
+        };
+        let quant = parse_quant(chars, pattern);
+        seq.push((node, quant));
+    }
+    seq
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"));
+        match c {
+            ']' => break,
+            '^' if ranges.is_empty() => {
+                panic!("negated classes unsupported in `{pattern}`")
+            }
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let hi = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"));
+                    assert!(lo <= hi, "inverted class range in `{pattern}`");
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern `{pattern}`");
+    ranges
+}
+
+fn parse_quant(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Quant {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Quant { min: 0, max: 1 }
+        }
+        Some('*') => {
+            chars.next();
+            Quant {
+                min: 0,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('+') => {
+            chars.next();
+            Quant {
+                min: 1,
+                max: UNBOUNDED_CAP,
+            }
+        }
+        Some('{') => {
+            chars.next();
+            let mut min = 0u32;
+            let mut saw_digit = false;
+            while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                chars.next();
+                min = min * 10 + d;
+                saw_digit = true;
+            }
+            assert!(saw_digit, "malformed `{{}}` quantifier in `{pattern}`");
+            let max = match chars.next() {
+                Some('}') => min,
+                Some(',') => {
+                    let mut max = 0u32;
+                    let mut saw_max = false;
+                    while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                        chars.next();
+                        max = max * 10 + d;
+                        saw_max = true;
+                    }
+                    assert_eq!(
+                        chars.next(),
+                        Some('}'),
+                        "malformed `{{}}` quantifier in `{pattern}`"
+                    );
+                    if saw_max {
+                        max
+                    } else {
+                        min + UNBOUNDED_CAP
+                    }
+                }
+                _ => panic!("malformed `{{}}` quantifier in `{pattern}`"),
+            };
+            assert!(min <= max, "inverted `{{}}` quantifier in `{pattern}`");
+            Quant { min, max }
+        }
+        _ => ONCE,
+    }
+}
+
+/// Characters `.` draws from beyond printable ASCII, exercising multi-byte
+/// and non-Latin input the way real proptest's `any::<char>()` would.
+const DOT_EXTRAS: &[char] = &['\t', 'À', 'ß', 'Ω', 'я', '中', '\u{1F600}'];
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Dot => {
+            if rng.below(8) == 0 {
+                out.push(DOT_EXTRAS[rng.below(DOT_EXTRAS.len() as u64) as usize]);
+            } else {
+                let code = 0x20 + rng.below(0x7f - 0x20) as u32;
+                out.push(char::from_u32(code).unwrap_or(' '));
+            }
+        }
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32 + 1))
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let size = u64::from(hi as u32 - lo as u32 + 1);
+                if pick < size {
+                    out.push(char::from_u32(lo as u32 + pick as u32).unwrap_or(lo));
+                    return;
+                }
+                pick -= size;
+            }
+            unreachable!("pick < total by construction");
+        }
+        Node::Group(seq) => generate_seq(seq, rng, out),
+    }
+}
+
+fn generate_seq(seq: &[(Node, Quant)], rng: &mut TestRng, out: &mut String) {
+    for (node, quant) in seq {
+        let count = quant.min + rng.below(u64::from(quant.max - quant.min) + 1) as u32;
+        for _ in 0..count {
+            generate_node(node, rng, out);
+        }
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let seq = parse_pattern(self);
+        let mut out = String::new();
+        generate_seq(&seq, rng, &mut out);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner plumbing
+// ---------------------------------------------------------------------------
+
+/// How a generated case ended, when not a success.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not counted.
+    Reject,
+    /// `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+#[doc(hidden)]
+pub fn __run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut successes = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(20);
+    while successes < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "{name}: gave up after {attempts} attempts ({successes} successes); \
+             prop_assume! rejects too much"
+        );
+        let mut rng = TestRng::for_case(name, attempts);
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{name}: property failed at case #{}: {message}", attempts - 1)
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-style function running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            $crate::__run_property(__name, &__config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                {
+                    $body
+                }
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything a property-test file needs: macros, `any`, `Strategy`,
+/// the config type, and the `prop` combinator namespace.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespace mirror so `prop::collection::vec` / `prop::option::of` work.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("vendor::proptest::tests", 0)
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let x = (3u64..17).generate(&mut r);
+            assert!((3..17).contains(&x));
+            let y = (-5i32..5).generate(&mut r);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let x = (-1.5f64..2.5).generate(&mut r);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn regex_classes_and_quantifiers() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{3,8}".generate(&mut r);
+            assert!((3..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_groups_and_optional() {
+        let mut r = rng();
+        let mut saw_space = false;
+        let mut saw_bare = false;
+        for _ in 0..200 {
+            let s = "[a-z]{1,10}( [a-z]{1,6})?".generate(&mut r);
+            if s.contains(' ') {
+                saw_space = true;
+                let (head, tail) = s.split_once(' ').expect("space present");
+                assert!(head.chars().all(|c| c.is_ascii_lowercase()));
+                assert!((1..=6).contains(&tail.chars().count()));
+            } else {
+                saw_bare = true;
+            }
+        }
+        assert!(saw_space && saw_bare, "optional group should vary");
+    }
+
+    #[test]
+    fn dot_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = ".{0,40}".generate(&mut r);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn vec_and_option_combinators() {
+        let mut r = rng();
+        let v = prop::collection::vec(0u32..10, 2..5).generate(&mut r);
+        assert!((2..5).contains(&v.len()));
+        let mut nones = 0;
+        for _ in 0..200 {
+            if prop::option::of(0usize..4).generate(&mut r).is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 0 && nones < 200);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRng::for_case("same", 7);
+        let mut b = TestRng::for_case("same", 7);
+        let s1 = "[a-z]{1,8}".generate(&mut a);
+        let s2 = "[a-z]{1,8}".generate(&mut b);
+        assert_eq!(s1, s2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn self_hosted_property(a in 0u64..100, flip in any::<bool>()) {
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            if flip {
+                prop_assert_eq!(a + 1, 1 + a);
+            }
+        }
+    }
+}

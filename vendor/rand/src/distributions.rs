@@ -1,0 +1,190 @@
+//! Distributions over random sources.
+
+use crate::RngCore;
+
+/// A distribution that can produce values of type `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Converts `rng` into an iterator of samples.
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        R: RngCore,
+        Self: Sized,
+    {
+        DistIter {
+            dist: self,
+            rng,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Iterator over samples from a distribution (see
+/// [`Distribution::sample_iter`]).
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    dist: D,
+    rng: R,
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.dist.sample(&mut self.rng))
+    }
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers and `bool`, uniform in `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling (the machinery behind `Rng::gen_range`).
+pub mod uniform {
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[lo, hi)`; `hi` is exclusive.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Samples uniformly from `[lo, hi]`; `hi` is inclusive.
+        fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    /// Range shapes accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty inclusive range");
+            T::sample_closed(rng, lo, hi)
+        }
+    }
+
+    /// Draws a uniform value in `[0, span)` by widening multiplication
+    /// (Lemire's method without the rejection step; bias is at most
+    /// `span / 2^64`, far below anything the workspace's statistical
+    /// tests can resolve).
+    fn mul_shift(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+        ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u64;
+                    let off = mul_shift(rng, span);
+                    ((lo as i128) + off as i128) as $t
+                }
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u128::from(u64::MAX) {
+                        // Full-width range: every u64 value is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    let off = mul_shift(rng, span as u64);
+                    ((lo as i128) + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    let unit = (rng.next_u64() >> 11) as $t
+                        * (1.0 / (1u64 << 53) as $t);
+                    lo + unit * (hi - lo)
+                }
+                fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    Self::sample_half_open(rng, lo, hi)
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_float!(f32, f64);
+}

@@ -1,0 +1,55 @@
+//! Concrete generators.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++ (Blackman & Vigna),
+/// seeded through SplitMix64. Deterministic and portable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state(mut seed: u64) -> Self {
+        // SplitMix64 seed expansion, as recommended by the xoshiro authors.
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            seed = splitmix64(seed);
+            *slot = seed;
+        }
+        // A xoshiro state of all zeros is a fixed point; the expansion
+        // above cannot produce it for any input, but keep the guard local
+        // and explicit.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        StdRng { s }
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng::from_state(state)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias kept for API compatibility; same generator as [`StdRng`].
+pub type SmallRng = StdRng;

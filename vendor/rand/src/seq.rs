@@ -1,0 +1,34 @@
+//! Sequence helpers (`choose`, `shuffle`) as in `rand::seq`.
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices for random selection and shuffling.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Returns a uniformly random element, or `None` for an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

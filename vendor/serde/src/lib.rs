@@ -1,0 +1,536 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! self-contained serialization framework exposing the subset of serde's
+//! surface the workspace uses: the [`Serialize`] / [`Deserialize`] traits,
+//! `serde::de::DeserializeOwned`, and `#[derive(Serialize, Deserialize)]`
+//! (re-exported from the vendored `serde_derive` when the `derive` feature
+//! is on).
+//!
+//! Instead of serde's visitor-based streaming model, this implementation
+//! serializes through an owned JSON-like [`Value`] tree. The vendored
+//! `serde_json` renders and parses that tree, so
+//! `serde_json::to_string` / `from_str` round-trips behave as expected.
+//! Maps serialize as arrays of `[key, value]` pairs, which sidesteps
+//! JSON's string-only object keys for typed map keys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde (`for<'de> Deserialize<'de>` bounds); this implementation always
+/// deserializes from an owned tree.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization-side items, mirroring `serde::de`.
+pub mod de {
+    /// A type deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+
+    pub use crate::DeError;
+}
+
+/// Serialization-side items, mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Why a [`Deserialize`](crate::Deserialize) call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a human-readable message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor: expected one shape, found another.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Implementations for primitives and std collections.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_u64(u64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_u64(*self as u64))
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let raw = value
+            .as_u64()
+            .ok_or_else(|| DeError::expected("unsigned integer", value))?;
+        usize::try_from(raw).map_err(|_| DeError::new("usize out of range"))
+    }
+}
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_i64(i64::from(*self)))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", value))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::new(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_i64(*self as i64))
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let raw = value
+            .as_i64()
+            .ok_or_else(|| DeError::expected("integer", value))?;
+        isize::try_from(raw).map_err(|_| DeError::new("isize out of range"))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        #[allow(clippy::cast_possible_truncation)]
+        value
+            .as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| DeError::expected("number", value))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => {
+                s.chars().next().ok_or_else(|| DeError::new("empty char"))
+            }
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == N => {
+                let parsed: Result<Vec<T>, DeError> =
+                    items.iter().map(T::deserialize_value).collect();
+                parsed?
+                    .try_into()
+                    .map_err(|_| DeError::new("array length mismatch"))
+            }
+            other => Err(DeError::expected("fixed-size array", other)),
+        }
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) => {
+                        let mut it = items.iter();
+                        let out = ($(
+                            {
+                                let item = it
+                                    .next()
+                                    .ok_or_else(|| DeError::new("tuple too short"))?;
+                                $name::deserialize_value(item)?
+                            },
+                        )+);
+                        if it.next().is_some() {
+                            return Err(DeError::new("tuple too long"));
+                        }
+                        Ok(out)
+                    }
+                    other => Err(DeError::expected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+fn serialize_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Array(
+        entries
+            .map(|(k, v)| Value::Array(vec![k.serialize_value(), v.serialize_value()]))
+            .collect(),
+    )
+}
+
+fn deserialize_map_entries<'de, K: Deserialize<'de>, V: Deserialize<'de>>(
+    value: &Value,
+) -> Result<Vec<(K, V)>, DeError> {
+    match value {
+        Value::Array(items) => items
+            .iter()
+            .map(|pair| match pair {
+                Value::Array(kv) if kv.len() == 2 => {
+                    Ok((K::deserialize_value(&kv[0])?, V::deserialize_value(&kv[1])?))
+                }
+                other => Err(DeError::expected("[key, value] pair", other)),
+            })
+            .collect(),
+        other => Err(DeError::expected("map as array of pairs", other)),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(deserialize_map_entries::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(deserialize_map_entries::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for std::collections::HashSet<T, S>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T> Serialize for std::marker::PhantomData<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de, T> Deserialize<'de> for std::marker::PhantomData<T> {
+    fn deserialize_value(_: &Value) -> Result<Self, DeError> {
+        Ok(std::marker::PhantomData)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Support machinery for the `serde_derive` macros. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Looks up and deserializes a named struct field.
+    pub fn get_field<T: for<'de> Deserialize<'de>>(
+        fields: &[(String, Value)],
+        name: &str,
+        type_name: &str,
+    ) -> Result<T, DeError> {
+        let found = fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::new(format!("missing field `{name}` in {type_name}")))?;
+        T::deserialize_value(found)
+            .map_err(|e| DeError::new(format!("field `{name}` of {type_name}: {e}")))
+    }
+
+    /// Unwraps an object value, for struct deserialization.
+    pub fn expect_object<'v>(
+        value: &'v Value,
+        type_name: &str,
+    ) -> Result<&'v [(String, Value)], DeError> {
+        match value {
+            Value::Object(fields) => Ok(fields),
+            other => Err(DeError::new(format!(
+                "expected object for {type_name}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Unwraps an array value of an exact length, for tuple shapes.
+    pub fn expect_array<'v>(
+        value: &'v Value,
+        len: usize,
+        type_name: &str,
+    ) -> Result<&'v [Value], DeError> {
+        match value {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(DeError::new(format!(
+                "expected {len} elements for {type_name}, found {}",
+                items.len()
+            ))),
+            other => Err(DeError::new(format!(
+                "expected array for {type_name}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The owned value tree all (de)serialization flows through.
+
+/// A JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (integer or float; see [`Number`]).
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object. Stored as a field list to preserve insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving 64-bit integer precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// Wraps a `u64`.
+    #[must_use]
+    pub fn from_u64(x: u64) -> Self {
+        Number::PosInt(x)
+    }
+
+    /// Wraps an `i64`, preferring the non-negative representation.
+    #[must_use]
+    pub fn from_i64(x: i64) -> Self {
+        if x >= 0 {
+            Number::PosInt(x as u64)
+        } else {
+            Number::NegInt(x)
+        }
+    }
+
+    /// Wraps an `f64`.
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
+        Number::Float(x)
+    }
+}
+
+impl Value {
+    /// A short name for the value's shape, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer (or an
+    /// integral float, as produced by JSON text like `1.0`).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(x)) => Some(*x),
+            Value::Number(Number::Float(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(x)) => i64::try_from(*x).ok(),
+            Value::Number(Number::NegInt(x)) => Some(*x),
+            Value::Number(Number::Float(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                #[allow(clippy::cast_possible_truncation)]
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(x)) => Some(*x as f64),
+            Value::Number(Number::NegInt(x)) => Some(*x as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's items, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields, if it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field by name, if this is an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+fn write_escaped(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Number::PosInt(x) => write!(f, "{x}"),
+            Number::NegInt(x) => write!(f, "{x}"),
+            // `{:?}` prints the shortest text that round-trips the f64
+            // (e.g. `1.0`, not `1`), keeping floats floats across a parse.
+            Number::Float(x) if x.is_finite() => write!(f, "{x:?}"),
+            // JSON has no NaN/Infinity; mirror serde_json's lossy `null`.
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Renders compact JSON.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}

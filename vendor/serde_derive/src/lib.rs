@@ -1,0 +1,557 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! The build container has no crates.io access, so `syn`/`quote` are
+//! unavailable; this macro hand-parses the derive input token stream.
+//! It supports the shapes the workspace uses:
+//!
+//! * structs with named fields (including generics and `#[serde(skip)]`),
+//! * tuple structs (newtype and longer),
+//! * unit structs,
+//! * enums with unit, newtype, tuple, and struct variants.
+//!
+//! Generated code targets the vendored serde's value-tree model:
+//! `Serialize::serialize_value(&self) -> Value` and
+//! `Deserialize::deserialize_value(&Value) -> Result<Self, DeError>`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<Field>),
+}
+
+/// The parsed derive input.
+struct Input {
+    name: String,
+    /// Generic parameter names, e.g. `["T"]` for `Foo<T>`.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kw = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    let kind = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_types(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum without a body"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Advances past any `#[...]` attribute groups, returning whether one of
+/// them was `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            skip |= attr_is_serde_skip(g.stream());
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    skip
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<A, B, ...>` generic parameter lists. Bounds and defaults are
+/// tolerated and stripped; only the parameter names are kept.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*i) else {
+        return params;
+    };
+    if p.as_char() != '<' {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    let mut in_bound = false;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return params;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+                in_bound = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => in_bound = true,
+            TokenTree::Ident(id) if depth == 1 && expecting_param && !in_bound => {
+                params.push(id.to_string());
+                expecting_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    panic!("unterminated generic parameter list");
+}
+
+/// Parses `name: Type, ...` named-field lists.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // The generated impls never need the type text (the value model
+        // dispatches through trait methods), but the tokens must still be
+        // consumed to find the next field boundary.
+        collect_type(&tokens, &mut i);
+        fields.push(Field { name, skip });
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Collects a type's tokens up to a top-level `,` (generics-depth aware).
+fn collect_type(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth = 0usize;
+    let mut parts: Vec<String> = Vec::new();
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        parts.push(tok.to_string());
+        *i += 1;
+    }
+    parts.join(" ")
+}
+
+/// Parses the comma-separated types of a tuple struct / tuple variant,
+/// tolerating per-element attributes and visibility.
+fn parse_tuple_types(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut types = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let ty = collect_type(&tokens, &mut i);
+        if !ty.is_empty() {
+            types.push(ty);
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    types
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(parse_tuple_types(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an explicit discriminant (`= expr`) if present, then the comma.
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<...> Trait for Name<...>` header pieces: (impl generics, type).
+fn impl_header(input: &Input, bound: &str, extra_lifetime: Option<&str>) -> (String, String) {
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    for p in &input.generics {
+        impl_params.push(format!("{p}: {bound}"));
+    }
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty = if input.generics.is_empty() {
+        input.name.clone()
+    } else {
+        format!("{}<{}>", input.name, input.generics.join(", "))
+    };
+    (impl_generics, ty)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, ty) = impl_header(input, "serde::Serialize", None);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), \
+                     serde::Serialize::serialize_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}serde::Value::Object(__fields)"
+            )
+        }
+        Kind::TupleStruct(types) if types.len() == 1 => {
+            "serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Kind::TupleStruct(types) => {
+            let items: Vec<String> = (0..types.len())
+                .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!(
+                "serde::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(types) if types.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         serde::Serialize::serialize_value(__f0))]),\n"
+                    )),
+                    VariantShape::Tuple(types) => {
+                        let binds: Vec<String> =
+                            (0..types.len()).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     serde::Serialize::serialize_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             serde::Value::Object(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, clippy::nursery)]\n\
+         impl{impl_generics} serde::Serialize for {ty} {{\n\
+             fn serialize_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_generics, ty) =
+        impl_header(input, "for<'__x> serde::Deserialize<'__x>", Some("'de"));
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: serde::__private::get_field(__obj, \"{0}\", \"{name}\")?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "let __obj = serde::__private::expect_object(__value, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::TupleStruct(types) if types.len() == 1 => format!(
+            "::core::result::Result::Ok({name}(serde::Deserialize::deserialize_value(__value)?))"
+        ),
+        Kind::TupleStruct(types) => {
+            let n = types.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = serde::__private::expect_array(__value, {n}, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, clippy::nursery)]\n\
+         impl{impl_generics} serde::Deserialize<'de> for {ty} {{\n\
+             fn deserialize_value(__value: &serde::Value) \
+              -> ::core::result::Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n", v.name))
+        .collect();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {}
+            VariantShape::Tuple(types) if types.len() == 1 => payload_arms.push_str(&format!(
+                "\"{vn}\" => ::core::result::Result::Ok(\
+                 {name}::{vn}(serde::Deserialize::deserialize_value(__inner)?)),\n"
+            )),
+            VariantShape::Tuple(types) => {
+                let n = types.len();
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __items = serde::__private::expect_array(__inner, {n}, \"{name}::{vn}\")?;\n\
+                     ::core::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                    items.join(", ")
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::core::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{0}: serde::__private::get_field(__obj, \"{0}\", \"{name}::{vn}\")?,\n",
+                            f.name
+                        ));
+                    }
+                }
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __obj = serde::__private::expect_object(__inner, \"{name}::{vn}\")?;\n\
+                     ::core::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                ));
+            }
+        }
+    }
+
+    let mut body = String::new();
+    if !unit_arms.is_empty() {
+        body.push_str(&format!(
+            "if let serde::Value::String(__s) = __value {{\n\
+             return match __s.as_str() {{\n{}__other => \
+             ::core::result::Result::Err(serde::DeError::new(::std::format!(\
+             \"unknown variant `{{}}` of {name}\", __other))),\n}};\n}}\n",
+            unit_arms.join("")
+        ));
+    }
+    if !payload_arms.is_empty() {
+        body.push_str(&format!(
+            "if let serde::Value::Object(__fields) = __value {{\n\
+             if __fields.len() == 1 {{\n\
+             let (__key, __inner) = &__fields[0];\n\
+             return match __key.as_str() {{\n{payload_arms}__other => \
+             ::core::result::Result::Err(serde::DeError::new(::std::format!(\
+             \"unknown variant `{{}}` of {name}\", __other))),\n}};\n}}\n}}\n"
+        ));
+    }
+    body.push_str(&format!(
+        "::core::result::Result::Err(serde::DeError::expected(\"{name} variant\", __value))"
+    ));
+    body
+}
