@@ -14,6 +14,7 @@
 //! |----|----------|-------|-----------|
 //! | D1 | error | library crates | no wall-clock / OS entropy (`SystemTime`, `Instant::now`, `thread_rng`, `rand::random`, `std::env`) |
 //! | D2 | error | library crates | no `HashMap`/`HashSet` (iteration-order nondeterminism); use `BTreeMap`/`BTreeSet` |
+//! | D3 | error | library crates | no ad-hoc threading (`std::thread`, `crossbeam`, mpsc channels) outside `hc-sim::par` — all parallelism goes through the replication pool |
 //! | P1 | error | library crates | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` or computed-index slicing |
 //! | H1 | error | whole workspace | no `unsafe` code |
 //! | H2 | error | `hc-core` | every `pub` item carries a doc comment |
@@ -57,7 +58,7 @@ pub enum Severity {
 /// One finding, anchored to a file and 1-based line.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic {
-    /// Rule id (`D1`, `D2`, `P1`, `H1`, `H2`, `A1`, `A2`).
+    /// Rule id (`D1`, `D2`, `D3`, `P1`, `H1`, `H2`, `A1`, `A2`).
     pub rule: String,
     /// Error or warning.
     pub severity: Severity,
@@ -331,9 +332,7 @@ fn parse_allows(comment: &str, line: usize) -> Vec<Allow> {
         let Some(close) = after.find(')') else { break };
         let rule = after[..close].trim().to_string();
         let tail = &after[close + 1..];
-        let justified = tail
-            .strip_prefix(':')
-            .is_some_and(|j| !j.trim().is_empty());
+        let justified = tail.strip_prefix(':').is_some_and(|j| !j.trim().is_empty());
         allows.push(Allow {
             rule,
             justified,
@@ -357,6 +356,20 @@ const D1_TOKENS: [&str; 5] = [
     "std::env",
 ];
 
+/// D3: threading primitives. Library crates must not spawn threads or
+/// pass work over channels themselves — `hc-sim::par` is the single
+/// sanctioned parallelism layer (its determinism contract depends on
+/// owning every fan-out/merge), so only [`d3_exempt`] paths may use
+/// these.
+const D3_TOKENS: [&str; 4] = ["std::thread", "thread::spawn", "crossbeam", "mpsc::"];
+
+/// Paths allowed to use threading primitives: the replication pool
+/// itself (`hc-sim::par`), whether a single file or a module directory.
+#[must_use]
+pub fn d3_exempt(rel_path: &str) -> bool {
+    rel_path == "crates/sim/src/par.rs" || rel_path.starts_with("crates/sim/src/par/")
+}
+
 const P1_TOKENS: [&str; 6] = [
     ".unwrap()",
     ".expect(",
@@ -378,6 +391,13 @@ fn check_d2(code: &str) -> Option<String> {
         .iter()
         .find(|t| code.contains(*t))
         .map(|t| format!("`{t}` has nondeterministic iteration order; use `BTreeMap`/`BTreeSet` (or justify with an allow if provably never iterated)"))
+}
+
+fn check_d3(code: &str) -> Option<String> {
+    D3_TOKENS
+        .iter()
+        .find(|t| code.contains(*t))
+        .map(|t| format!("`{t}` spawns threads or channels outside `hc-sim::par`; route parallelism through the replication pool so results stay byte-identical at any thread count"))
 }
 
 fn check_p1(code: &str) -> Option<String> {
@@ -432,8 +452,7 @@ fn has_computed_index(code: &str) -> bool {
                 }
                 b'+' | b'-' | b'/' => has_arith = true,
                 b'*' => {
-                    has_arith |=
-                        prev.is_ascii_alphanumeric() || matches!(prev, b'_' | b')' | b']');
+                    has_arith |= prev.is_ascii_alphanumeric() || matches!(prev, b'_' | b')' | b']');
                 }
                 _ => {}
             }
@@ -563,6 +582,11 @@ pub fn analyze_source(source: &str, rel_path: &str, kind: FileKind, report: &mut
             if let Some(m) = check_d2(&line.code) {
                 findings.push(("D2", Severity::Error, m));
             }
+            if !d3_exempt(rel_path) {
+                if let Some(m) = check_d3(&line.code) {
+                    findings.push(("D3", Severity::Error, m));
+                }
+            }
             if let Some(m) = check_p1(&line.code) {
                 findings.push(("P1", Severity::Error, m));
             }
@@ -647,8 +671,7 @@ fn is_undocumented_pub(code: &str, has_doc: bool) -> bool {
     const DOCUMENTED_KINDS: [&str; 8] = [
         "fn ", "struct ", "enum ", "trait ", "type ", "const ", "static ", "union ",
     ];
-    DOCUMENTED_KINDS.iter().any(|k| item.starts_with(k))
-        || is_public_field(item)
+    DOCUMENTED_KINDS.iter().any(|k| item.starts_with(k)) || is_public_field(item)
 }
 
 /// Struct fields also need docs: `name: Type,` with no keyword prefix.
@@ -760,18 +783,49 @@ mod tests {
     }
 
     #[test]
+    fn d3_flags_threading_outside_the_pool() {
+        let r = run("fn f() { std::thread::spawn(|| {}); }\n", LIB);
+        assert_eq!(rules(&r), vec![("D3", 1)]);
+        let r = run("use crossbeam::deque::Worker;\n", LIB);
+        assert_eq!(rules(&r), vec![("D3", 1)]);
+        let r = run("use std::sync::mpsc::channel;\n", LIB);
+        assert_eq!(rules(&r), vec![("D3", 1)]);
+        // The replication pool itself is the sanctioned exemption.
+        let mut report = Report::default();
+        analyze_source(
+            "use crossbeam::deque::Worker;\n",
+            "crates/sim/src/par.rs",
+            LIB,
+            &mut report,
+        );
+        assert_eq!(rules(&report), vec![]);
+        // Tool crates (bench binaries, the analyzer) may thread freely.
+        let r = run("fn f() { std::thread::spawn(|| {}); }\n", FileKind::Tool);
+        assert_eq!(rules(&r), vec![]);
+    }
+
+    #[test]
     fn p1_flags_panicky_calls_and_computed_indexing() {
         let r = run("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n", LIB);
         assert_eq!(rules(&r), vec![("P1", 1)]);
         let r = run("fn f(xs: &[u32], i: usize) -> u32 { xs[i - 1] }\n", LIB);
         assert_eq!(rules(&r), vec![("P1", 1)]);
         // Plain loop indexing and repeat literals are in-scope idioms.
-        let r = run("fn f(xs: &[u32], i: usize) -> u32 { xs[i] + [0u32; 2][0] }\n", LIB);
+        let r = run(
+            "fn f(xs: &[u32], i: usize) -> u32 { xs[i] + [0u32; 2][0] }\n",
+            LIB,
+        );
         assert_eq!(rules(&r), vec![]);
         // A deref index is not arithmetic; a real product is.
-        let r = run("fn f(m: &mut [u32], e: &usize, c: usize) { m[*e % c] += 1; }\n", LIB);
+        let r = run(
+            "fn f(m: &mut [u32], e: &usize, c: usize) { m[*e % c] += 1; }\n",
+            LIB,
+        );
         assert_eq!(rules(&r), vec![]);
-        let r = run("fn f(xs: &[u32], i: usize, w: usize) -> u32 { xs[i * w] }\n", LIB);
+        let r = run(
+            "fn f(xs: &[u32], i: usize, w: usize) -> u32 { xs[i * w] }\n",
+            LIB,
+        );
         assert_eq!(rules(&r), vec![("P1", 1)]);
     }
 
@@ -790,7 +844,10 @@ mod tests {
         let r = run("/// Documented.\npub fn covered() {}\n", CORE);
         assert_eq!(rules(&r), vec![]);
         // Attributes between doc and item keep the doc attached.
-        let r = run("/// Doc.\n#[must_use]\npub fn covered() -> u32 { 0 }\n", CORE);
+        let r = run(
+            "/// Doc.\n#[must_use]\npub fn covered() -> u32 { 0 }\n",
+            CORE,
+        );
         assert_eq!(rules(&r), vec![]);
         // pub use re-exports are exempt; non-core libraries are exempt.
         let r = run("pub use std::fmt;\n", CORE);
@@ -801,7 +858,10 @@ mod tests {
 
     #[test]
     fn strings_and_comments_never_match() {
-        let r = run("fn f() -> &'static str { \"call .unwrap() on a HashMap\" }\n", LIB);
+        let r = run(
+            "fn f() -> &'static str { \"call .unwrap() on a HashMap\" }\n",
+            LIB,
+        );
         assert_eq!(rules(&r), vec![]);
         let r = run("// mentions .unwrap() and SystemTime\nfn f() {}\n", LIB);
         assert_eq!(rules(&r), vec![]);
@@ -871,7 +931,12 @@ fn f(xs: &[u32], i: usize) -> u32 { xs[i - 1] }
     #[test]
     fn report_round_trips_through_json() {
         let mut report = Report::default();
-        analyze_source("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n", "a.rs", LIB, &mut report);
+        analyze_source(
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            "a.rs",
+            LIB,
+            &mut report,
+        );
         report.files_scanned = 1;
         let json = serde_json::to_string(&report).expect("serialize");
         let back: Report = serde_json::from_str(&json).expect("deserialize");

@@ -1,0 +1,11 @@
+//! Fixture: D3 — ad-hoc threading in library code.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 1 + 1);
+    let _ = handle.join();
+}
+
+pub fn chatter() {
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+    drop((tx, rx));
+}

@@ -1,0 +1,7 @@
+//! Fixture: the sanctioned threading exemption — `hc-sim::par` is the
+//! one library path allowed to use crossbeam; D3 must stay silent here.
+
+pub fn pool() {
+    let worker = crossbeam::deque::Worker::<u32>::new_fifo();
+    drop(worker);
+}

@@ -25,6 +25,8 @@ fn planted_violations_fire_exactly() {
         ("D2", "crates/core/src/d2.rs", 3),
         ("D2", "crates/core/src/d2.rs", 7),
         ("H2", "crates/core/src/h2.rs", 6),
+        ("D3", "crates/games/src/d3.rs", 4),
+        ("D3", "crates/games/src/d3.rs", 9),
         ("P1", "crates/games/src/p1.rs", 4),
         ("P1", "crates/games/src/p1.rs", 8),
         ("A1", "crates/sim/src/allowed.rs", 13),
@@ -42,8 +44,23 @@ fn planted_violations_fire_exactly() {
 fn clean_file_and_test_modules_stay_silent() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
     assert!(
-        !report.diagnostics.iter().any(|d| d.path.contains("clean.rs")),
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.path.contains("clean.rs")),
         "clean fixture fired: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn the_replication_pool_path_is_exempt_from_d3() {
+    // fixtures/ws/crates/sim/src/par.rs uses crossbeam, mirroring the
+    // real pool; the path-based exemption must keep it silent.
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.path.contains("par.rs")),
+        "D3 fired on the exempt pool path: {:?}",
         report.diagnostics
     );
 }
@@ -90,5 +107,5 @@ fn fixture_report_round_trips_through_json() {
 #[test]
 fn files_scanned_counts_every_fixture() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
-    assert_eq!(report.files_scanned, 7);
+    assert_eq!(report.files_scanned, 9);
 }

@@ -30,12 +30,17 @@ fn bench_session(c: &mut Criterion) {
             sid += 1;
             t0 += 1_000;
             black_box(play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(sid), SimTime::from_secs(t0)),
-        &mut rng,
-    ))
+                &mut platform,
+                &world,
+                &mut pop,
+                SessionParams::pair(
+                    PlayerId::new(0),
+                    PlayerId::new(1),
+                    SessionId::new(sid),
+                    SimTime::from_secs(t0),
+                ),
+                &mut rng,
+            ))
         });
     });
 }

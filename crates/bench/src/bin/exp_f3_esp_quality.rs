@@ -79,12 +79,12 @@ fn main() {
                     b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
                 }
                 play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
-        &mut rng,
-    );
+                    &mut platform,
+                    &world,
+                    &mut pop,
+                    SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+                    &mut rng,
+                );
             }
             let (correct, total) = world.verified_precision(&platform);
             let precision = if total == 0 {

@@ -12,13 +12,16 @@
 //!    players (reported as detection recall).
 //!
 //! Poison rate = fraction of verified labels that are the attack label.
+//! The (colluder share × defense) grid runs on the parallel replication
+//! pool — each cell is an independent simulation, so `--threads N`
+//! changes wall time only, never a byte of output.
 
-use hc_bench::{f3, pct, seed_from_args, Table};
+use hc_bench::{f3, pct, run_grid, Cell, RunOpts, Table};
 use hc_core::anticheat::CheatDetector;
 use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, PopulationBuilder};
 use hc_games::{esp::play_esp_session, EspWorld, SessionParams, WorldConfig};
-use hc_sim::RngFactory;
+use hc_sim::{OnlineStats, SimRng};
 use serde::Serialize;
 
 const PLAYERS: usize = 40;
@@ -26,36 +29,127 @@ const SESSIONS: u64 = 300;
 const ATTACK_LABEL: &str = "attacklabel";
 
 #[derive(Serialize)]
-struct Row {
+struct RepRow {
     colluder_share: f64,
     defense: String,
+    rep: usize,
     poisoned_rate: f64,
     verified: usize,
     rejected_agreements: u64,
     detector_recall: f64,
 }
 
+#[derive(Serialize)]
+struct CellRow {
+    colluder_share: f64,
+    defense: String,
+    reps: usize,
+    poisoned_rate_mean: f64,
+    verified_mean: f64,
+    rejected_agreements_mean: f64,
+    detector_recall_mean: f64,
+}
+
+#[derive(Clone)]
 struct Defense {
     name: &'static str,
     k: u32,
     gold: bool,
 }
 
-fn main() {
-    let seed = seed_from_args();
-    let factory = RngFactory::new(seed);
-    let mut table = Table::new(
-        "F4 — collusion attack vs layered defenses",
-        &[
-            "colluders",
-            "defense",
-            "poisoned",
-            "verified",
-            "rejected",
-            "detector recall",
-        ],
-    );
+#[derive(Clone)]
+struct CellCfg {
+    share: f64,
+    defense: Defense,
+}
 
+fn run_cell(cfg: &CellCfg, rep: usize, mut rng: SimRng) -> RepRow {
+    let d = &cfg.defense;
+    let mut world_cfg = WorldConfig::standard();
+    world_cfg.stimuli = 300;
+    let mut world = EspWorld::generate(&world_cfg, &mut rng);
+    let mut platform = Platform::new(PlatformConfig {
+        agreement_threshold: d.k,
+        gold_injection_rate: if d.gold { 0.25 } else { 0.0 },
+        gold_min_accuracy: 0.5,
+        gold_min_evidence: 3,
+        ..PlatformConfig::default()
+    })
+    .expect("valid config");
+    world.register_tasks(&mut platform);
+    if d.gold {
+        world.register_gold_tasks(&mut platform, &world_cfg, 30, &mut rng);
+    }
+    platform.set_cheat_detector(CheatDetector::new(0.5, 0.8, 15));
+    let mix = ArchetypeMix::with_colluders(1.0 - cfg.share, cfg.share, ATTACK_LABEL);
+    let mut pop = PopulationBuilder::new(PLAYERS).mix(mix).build(&mut rng);
+    for _ in 0..PLAYERS {
+        platform.register_player();
+    }
+    for s in 0..SESSIONS {
+        let a = PlayerId::new((2 * s) % PLAYERS as u64);
+        let mut b = PlayerId::new((2 * s + 1 + s / PLAYERS as u64) % PLAYERS as u64);
+        if a == b {
+            b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
+        }
+        play_esp_session(
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+            &mut rng,
+        );
+    }
+    let attack = Label::new(ATTACK_LABEL);
+    let verified = platform.verified_labels().len();
+    let poisoned = platform
+        .verified_labels()
+        .iter()
+        .filter(|v| v.label == attack)
+        .count();
+    let poisoned_rate = if verified == 0 {
+        0.0
+    } else {
+        poisoned as f64 / verified as f64
+    };
+    // Detector recall over the true colluders.
+    let colluders: Vec<PlayerId> = pop
+        .players()
+        .iter()
+        .filter(|p| p.is_adversarial())
+        .map(|p| p.id)
+        .collect();
+    let flagged = colluders
+        .iter()
+        .filter(|p| platform.cheat_detector().assess(**p).is_suspicious())
+        .count();
+    let recall = if colluders.is_empty() {
+        1.0
+    } else {
+        flagged as f64 / colluders.len() as f64
+    };
+    RepRow {
+        colluder_share: cfg.share,
+        defense: d.name.to_string(),
+        rep,
+        poisoned_rate,
+        verified,
+        rejected_agreements: platform.rejected_agreements(),
+        detector_recall: recall,
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut stats = OnlineStats::new();
+    for v in values {
+        stats.push(v);
+    }
+    stats.mean()
+}
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let reps = opts.reps_or(3, 1);
     let defenses = [
         Defense {
             name: "none (k=1)",
@@ -73,93 +167,68 @@ fn main() {
             gold: true,
         },
     ];
-
-    for share in [0.1f64, 0.25, 0.4] {
-        for (di, d) in defenses.iter().enumerate() {
-            let mut rng = factory.indexed_stream("f4", (share * 100.0) as u64 * 10 + di as u64);
-            let mut world_cfg = WorldConfig::standard();
-            world_cfg.stimuli = 300;
-            let mut world = EspWorld::generate(&world_cfg, &mut rng);
-            let mut platform = Platform::new(PlatformConfig {
-                agreement_threshold: d.k,
-                gold_injection_rate: if d.gold { 0.25 } else { 0.0 },
-                gold_min_accuracy: 0.5,
-                gold_min_evidence: 3,
-                ..PlatformConfig::default()
-            })
-            .expect("valid config");
-            world.register_tasks(&mut platform);
-            if d.gold {
-                world.register_gold_tasks(&mut platform, &world_cfg, 30, &mut rng);
-            }
-            platform.set_cheat_detector(CheatDetector::new(0.5, 0.8, 15));
-            let mix = ArchetypeMix::with_colluders(1.0 - share, share, ATTACK_LABEL);
-            let mut pop = PopulationBuilder::new(PLAYERS).mix(mix).build(&mut rng);
-            for _ in 0..PLAYERS {
-                platform.register_player();
-            }
-            for s in 0..SESSIONS {
-                let a = PlayerId::new((2 * s) % PLAYERS as u64);
-                let mut b = PlayerId::new((2 * s + 1 + s / PLAYERS as u64) % PLAYERS as u64);
-                if a == b {
-                    b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
-                }
-                play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
-        &mut rng,
-    );
-            }
-            let attack = Label::new(ATTACK_LABEL);
-            let verified = platform.verified_labels().len();
-            let poisoned = platform
-                .verified_labels()
-                .iter()
-                .filter(|v| v.label == attack)
-                .count();
-            let poisoned_rate = if verified == 0 {
-                0.0
-            } else {
-                poisoned as f64 / verified as f64
-            };
-            // Detector recall over the true colluders.
-            let colluders: Vec<PlayerId> = pop
-                .players()
-                .iter()
-                .filter(|p| p.is_adversarial())
-                .map(|p| p.id)
-                .collect();
-            let flagged = colluders
-                .iter()
-                .filter(|p| platform.cheat_detector().assess(**p).is_suspicious())
-                .count();
-            let recall = if colluders.is_empty() {
-                1.0
-            } else {
-                flagged as f64 / colluders.len() as f64
-            };
-            table.row(
-                &[
-                    pct(share),
-                    d.name.to_string(),
-                    f3(poisoned_rate),
-                    verified.to_string(),
-                    platform.rejected_agreements().to_string(),
-                    f3(recall),
-                ],
-                &Row {
-                    colluder_share: share,
-                    defense: d.name.to_string(),
-                    poisoned_rate,
-                    verified,
-                    rejected_agreements: platform.rejected_agreements(),
-                    detector_recall: recall,
+    let shares: &[f64] = if opts.smoke {
+        &[0.1, 0.4]
+    } else {
+        &[0.1, 0.25, 0.4]
+    };
+    let mut cells = Vec::new();
+    for &share in shares {
+        for d in &defenses {
+            cells.push(Cell::new(
+                format!("share={share}/defense={}", d.name),
+                CellCfg {
+                    share,
+                    defense: d.clone(),
                 },
-            );
+            ));
         }
+    }
+
+    let outcome = run_grid(&opts, "exp_f4_collusion", cells, reps, |cfg, ctx| {
+        run_cell(cfg, ctx.rep, ctx.rng)
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("exp_f4_collusion: {e}");
+        std::process::exit(1);
+    });
+
+    let mut table = Table::new(
+        "F4 — collusion attack vs layered defenses",
+        &[
+            "colluders",
+            "defense",
+            "poisoned",
+            "verified",
+            "rejected",
+            "detector recall",
+        ],
+    );
+    for cell in &outcome.cells {
+        let rows = &cell.reps;
+        let Some(first) = rows.first() else { continue };
+        let agg = CellRow {
+            colluder_share: first.colluder_share,
+            defense: first.defense.clone(),
+            reps: rows.len(),
+            poisoned_rate_mean: mean(rows.iter().map(|r| r.poisoned_rate)),
+            verified_mean: mean(rows.iter().map(|r| r.verified as f64)),
+            rejected_agreements_mean: mean(rows.iter().map(|r| r.rejected_agreements as f64)),
+            detector_recall_mean: mean(rows.iter().map(|r| r.detector_recall)),
+        };
+        table.row(
+            &[
+                pct(agg.colluder_share),
+                agg.defense.clone(),
+                f3(agg.poisoned_rate_mean),
+                format!("{:.0}", agg.verified_mean),
+                format!("{:.0}", agg.rejected_agreements_mean),
+                f3(agg.detector_recall_mean),
+            ],
+            &agg,
+        );
     }
     table.print();
     println!("\nexpected shape: poison rate falls with each defense layer; gold + reputation drives it toward zero while honest verification volume survives");
+    outcome.write_bench_json(&opts);
 }

@@ -108,12 +108,17 @@ fn main() {
                         colluder_pairs += 1;
                     }
                     play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(a, b, SessionId::new(sessions), SimTime::from_secs(e * 1_000)),
-        &mut rng,
-    );
+                        &mut platform,
+                        &world,
+                        &mut pop,
+                        SessionParams::pair(
+                            a,
+                            b,
+                            SessionId::new(sessions),
+                            SimTime::from_secs(e * 1_000),
+                        ),
+                        &mut rng,
+                    );
                     sessions += 1;
                 }
             }

@@ -1,16 +1,17 @@
 //! Robustness R1 — headline claims across independent seeds.
 //!
 //! Every table in EXPERIMENTS.md is quoted at seed 42; this experiment
-//! re-measures the four headline reproductions across 8 independent seeds
-//! (in parallel) and reports mean ± 95% CI, demonstrating that no ordering
-//! claim is a seed artifact:
+//! re-measures the four headline reproductions across independent seed
+//! replications (fanned out on the parallel replication pool) and
+//! reports mean ± 95% CI, demonstrating that no ordering claim is a
+//! seed artifact:
 //!
 //! 1. reCAPTCHA digitized-word accuracy (claim: ≥ 99%),
 //! 2. standalone OCR word accuracy (claim: ~78–84%, clearly below 1),
 //! 3. ESP verified-label precision under a mixed crowd (claim: ≥ 85%),
 //! 4. CAPTCHA human-vs-bot gap at distortion 0.6 (claim: wide open).
 
-use hc_bench::{f3, parallel_seeds, seed_from_args, Table};
+use hc_bench::{f3, run_grid, Cell, RunOpts, Table};
 use hc_captcha::corpus::pseudo_word;
 use hc_captcha::{
     Captcha, DigitizationPipeline, HumanReader, OcrEngine, ReCaptcha, ReCaptchaConfig,
@@ -23,8 +24,6 @@ use hc_games::{esp::play_esp_session, EspWorld, SessionParams, WorldConfig};
 use hc_sim::{ConfidenceInterval, OnlineStats, RngFactory};
 use serde::Serialize;
 
-const SEEDS: usize = 8;
-
 #[derive(Serialize)]
 struct Row {
     metric: String,
@@ -35,14 +34,16 @@ struct Row {
     claim: String,
 }
 
+#[derive(Serialize)]
 struct Sample {
+    rep: usize,
     recaptcha_acc: f64,
     ocr_acc: f64,
     esp_precision: f64,
     captcha_gap: f64,
 }
 
-fn one_seed(seed: u64) -> Sample {
+fn one_seed(rep: usize, seed: u64) -> Sample {
     let factory = RngFactory::new(seed);
 
     // 1+2: reCAPTCHA vs OCR on a 1500-word book.
@@ -87,12 +88,12 @@ fn one_seed(seed: u64) -> Sample {
             b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
         }
         play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
-        &mut rng,
-    );
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+            &mut rng,
+        );
     }
     let (correct, total) = world.verified_precision(&platform);
     let esp_precision = if total == 0 {
@@ -130,6 +131,7 @@ fn one_seed(seed: u64) -> Sample {
     let captcha_gap = (human_pass - bot_pass) as f64 / trials as f64;
 
     Sample {
+        rep,
         recaptcha_acc,
         ocr_acc,
         esp_precision,
@@ -138,12 +140,26 @@ fn one_seed(seed: u64) -> Sample {
 }
 
 fn main() {
-    let base = seed_from_args();
-    let seeds: Vec<u64> = (0..SEEDS as u64)
-        .map(|i| base.wrapping_add(i * 1_000))
-        .collect();
-    println!("running {SEEDS} seeds in parallel...");
-    let samples = parallel_seeds(&seeds, one_seed);
+    let opts = RunOpts::from_args();
+    let reps = opts.reps_or(8, 4);
+    // Thread count is machine-dependent; stderr keeps `results/*.txt`
+    // (stdout captures) bit-for-bit reproducible.
+    eprintln!(
+        "running {reps} seed replications on {} threads...",
+        opts.threads
+    );
+    let outcome = run_grid(
+        &opts,
+        "exp_r1_seed_robustness",
+        vec![Cell::new("headline", ())],
+        reps,
+        |(), ctx| one_seed(ctx.rep, ctx.seed),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("exp_r1_seed_robustness: {e}");
+        std::process::exit(1);
+    });
+    let samples: Vec<&Sample> = outcome.cells.iter().flat_map(|c| c.reps.iter()).collect();
 
     let mut table = Table::new(
         "R1 — headline claims across independent seeds (mean ± 95% CI)",
@@ -184,4 +200,5 @@ fn main() {
     }
     table.print();
     println!("\nevery headline claim must hold at the CI lower bound, not just the seed-42 point estimate");
+    outcome.write_bench_json(&opts);
 }

@@ -122,12 +122,12 @@ fn main() {
             &mut rng,
             |pf, pop, a, b, sid, t0, r| {
                 hc_games::esp::play_esp_session(
-        pf,
-        &world,
-        pop,
-        SessionParams::pair(a, b, sid, t0),
-        r,
-    )
+                    pf,
+                    &world,
+                    pop,
+                    SessionParams::pair(a, b, sid, t0),
+                    r,
+                )
             },
         );
         emit(

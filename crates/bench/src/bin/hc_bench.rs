@@ -1,0 +1,160 @@
+//! `hc-bench` — bench-JSON tooling for CI.
+//!
+//! ```text
+//! hc-bench compare --determinism A.json B.json
+//! hc-bench compare --baseline BASE.json --current CUR.json \
+//!                  [--max-slowdown X] [--min-speedup Y]
+//! ```
+//!
+//! * `--determinism` verifies that the deterministic sections of two
+//!   bench JSONs (same grid at different `--threads`) are identical;
+//! * `--baseline/--current` compares timing: `--max-slowdown X` fails
+//!   when the calibration-normalized current run is more than `X`×
+//!   slower than the baseline (machine-portable, for committed
+//!   baselines); `--min-speedup Y` fails when the raw wall-clock
+//!   speedup of current over baseline is below `Y` (same-machine, for
+//!   `--threads 1` vs `--threads N` runs).
+//!
+//! Exit status: 0 pass, 1 check failed, 2 usage/IO error.
+
+use hc_bench::compare::{determinism_diff, load_bench_json, perf_compare};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: hc-bench compare --determinism A B
+       hc-bench compare --baseline BASE --current CUR [--max-slowdown X] [--min-speedup Y]";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("compare") {
+        return usage_error("expected the `compare` subcommand");
+    }
+
+    let mut determinism: Vec<PathBuf> = Vec::new();
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut max_slowdown: Option<f64> = None;
+    let mut min_speedup: Option<f64> = None;
+
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--determinism" => {
+                let (Some(a), Some(b)) = (it.next(), it.next()) else {
+                    return usage_error("--determinism requires two paths");
+                };
+                determinism = vec![PathBuf::from(a), PathBuf::from(b)];
+            }
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline requires a path"),
+            },
+            "--current" => match it.next() {
+                Some(p) => current = Some(PathBuf::from(p)),
+                None => return usage_error("--current requires a path"),
+            },
+            "--max-slowdown" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(x) => max_slowdown = Some(x),
+                None => return usage_error("--max-slowdown requires a number"),
+            },
+            "--min-speedup" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(x) => min_speedup = Some(x),
+                None => return usage_error("--min-speedup requires a number"),
+            },
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let [a, b] = determinism.as_slice() {
+        let (va, vb) = match (load_bench_json(a), load_bench_json(b)) {
+            (Ok(va), Ok(vb)) => (va, vb),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("hc-bench: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        return match determinism_diff(&va, &vb) {
+            Ok(()) => {
+                println!(
+                    "determinism OK: {} and {} agree on every result byte",
+                    a.display(),
+                    b.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(diff) => {
+                eprintln!("DETERMINISM BROKEN: {diff}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let (Some(base_path), Some(cur_path)) = (baseline, current) else {
+        return usage_error("need either --determinism A B or --baseline/--current");
+    };
+    let (base, cur) = match (load_bench_json(&base_path), load_bench_json(&cur_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("hc-bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let perf = match perf_compare(&base, &cur) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("hc-bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "baseline {:.3}s ({:.1} cal units)   current {:.3}s ({:.1} cal units)",
+        perf.baseline_secs, perf.baseline_norm, perf.current_secs, perf.current_norm
+    );
+    println!(
+        "normalized slowdown {:.3}x   raw speedup {:.2}x",
+        perf.slowdown, perf.speedup
+    );
+    println!(
+        "JSON: {{\"baseline_secs\":{},\"current_secs\":{},\"baseline_norm\":{},\"current_norm\":{},\"slowdown\":{},\"speedup\":{}}}",
+        perf.baseline_secs,
+        perf.current_secs,
+        perf.baseline_norm,
+        perf.current_norm,
+        perf.slowdown,
+        perf.speedup
+    );
+
+    let mut failed = false;
+    if let Some(limit) = max_slowdown {
+        if perf.slowdown > limit {
+            eprintln!(
+                "PERF REGRESSION: normalized slowdown {:.3}x exceeds the {limit}x budget",
+                perf.slowdown
+            );
+            failed = true;
+        } else {
+            println!("slowdown within the {limit}x budget");
+        }
+    }
+    if let Some(floor) = min_speedup {
+        if perf.speedup < floor {
+            eprintln!(
+                "SPEEDUP TOO LOW: {:.2}x is below the required {floor}x",
+                perf.speedup
+            );
+            failed = true;
+        } else {
+            println!("speedup meets the {floor}x floor");
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

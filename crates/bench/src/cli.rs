@@ -1,0 +1,141 @@
+//! Shared CLI options for experiment binaries.
+//!
+//! Every grid-based experiment accepts the same flags:
+//!
+//! ```text
+//! exp_* [SEED] [--seed N] [--threads N] [--reps N] [--smoke] [--bench-json PATH]
+//! ```
+//!
+//! * `SEED` / `--seed N` — master seed (default 42; the bare positional
+//!   form is the pre-grid invocation style and still works);
+//! * `--threads N` — worker threads for the replication pool (default:
+//!   all available cores). **Never changes output bytes**, only wall
+//!   time — see `hc_sim::par`'s determinism contract;
+//! * `--reps N` — seed-replications per grid cell (each experiment has
+//!   its own default);
+//! * `--smoke` — reduced grid for CI smoke runs;
+//! * `--bench-json PATH` — write the machine-readable bench JSON
+//!   (deterministic `results` + machine-dependent `timing`) to `PATH`.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+/// Parsed experiment options; see the module docs for flag semantics.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Master seed for the experiment's `RngFactory`.
+    pub seed: u64,
+    /// Worker threads for the replication pool.
+    pub threads: usize,
+    /// Seed-replications per grid cell; `None` uses the experiment default.
+    pub reps: Option<usize>,
+    /// Run the reduced CI smoke grid instead of the full grid.
+    pub smoke: bool,
+    /// Where to write the bench JSON, if anywhere.
+    pub bench_json: Option<PathBuf>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            seed: 42,
+            threads: default_threads(),
+            reps: None,
+            smoke: false,
+            bench_json: None,
+        }
+    }
+}
+
+/// All available cores (tool crates may ask the OS; the answer affects
+/// wall time only, never output bytes).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+const USAGE: &str =
+    "usage: exp_* [SEED] [--seed N] [--threads N] [--reps N] [--smoke] [--bench-json PATH]";
+
+impl RunOpts {
+    /// Parses options from `std::env::args`, exiting with status 2 and a
+    /// usage message on malformed input.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut opts = RunOpts::default();
+        let mut args = std::env::args().skip(1);
+        let mut positional_seed_taken = false;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--seed" => opts.seed = parse_flag(&arg, args.next()),
+                "--threads" => opts.threads = parse_flag::<usize>(&arg, args.next()).max(1),
+                "--reps" => opts.reps = Some(parse_flag::<usize>(&arg, args.next()).max(1)),
+                "--smoke" => opts.smoke = true,
+                "--bench-json" => match args.next() {
+                    Some(p) => opts.bench_json = Some(PathBuf::from(p)),
+                    None => die(&format!("--bench-json requires a path\n{USAGE}")),
+                },
+                other if !positional_seed_taken && !other.starts_with('-') => match other.parse() {
+                    Ok(s) => {
+                        opts.seed = s;
+                        positional_seed_taken = true;
+                    }
+                    Err(_) => die(&format!("bad positional seed `{other}`\n{USAGE}")),
+                },
+                other => die(&format!("unknown argument `{other}`\n{USAGE}")),
+            }
+        }
+        opts
+    }
+
+    /// Replications per cell: the explicit `--reps`, else the
+    /// experiment's smoke or full default.
+    #[must_use]
+    pub fn reps_or(&self, full_default: usize, smoke_default: usize) -> usize {
+        self.reps.unwrap_or(if self.smoke {
+            smoke_default
+        } else {
+            full_default
+        })
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(raw) = value else {
+        die(&format!("{flag} requires a value\n{USAGE}"));
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => die(&format!("bad value `{raw}` for {flag}\n{USAGE}")),
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("{message}");
+    exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = RunOpts::default();
+        assert_eq!(o.seed, 42);
+        assert!(o.threads >= 1);
+        assert!(!o.smoke);
+        assert!(o.reps.is_none());
+        assert!(o.bench_json.is_none());
+    }
+
+    #[test]
+    fn reps_or_prefers_explicit_then_mode_default() {
+        let mut o = RunOpts::default();
+        assert_eq!(o.reps_or(3, 2), 3);
+        o.smoke = true;
+        assert_eq!(o.reps_or(3, 2), 2);
+        o.reps = Some(7);
+        assert_eq!(o.reps_or(3, 2), 7);
+    }
+}

@@ -1,0 +1,214 @@
+//! Bench-JSON comparison: the logic behind `hc-bench compare`.
+//!
+//! Two comparison modes, both over the JSON written by
+//! [`run_grid`](crate::grid):
+//!
+//! * **determinism** — the deterministic sections (`experiment`, `seed`,
+//!   `reps`, `results`) of two runs must be *equal*, byte for byte once
+//!   re-rendered. CI runs the same grid at `--threads 1` and
+//!   `--threads 4` and diffs them; any drift fails the build.
+//! * **perf** — wall-clock comparison. Raw total seconds give the
+//!   same-machine speedup (`--min-speedup`); calibration-normalized
+//!   totals give a machine-portable slowdown vs a committed baseline
+//!   (`--max-slowdown`), so a slower CI runner does not fake a
+//!   regression.
+
+use serde_json::Value;
+use std::path::Path;
+
+/// Reads and parses a bench JSON file.
+///
+/// # Errors
+///
+/// Returns a message naming the path on IO or parse failure.
+pub fn load_bench_json(path: &Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Top-level keys that must be identical across thread counts.
+const DETERMINISTIC_KEYS: [&str; 4] = ["experiment", "seed", "reps", "results"];
+
+/// Verifies that the deterministic sections of two bench JSONs agree.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence found.
+pub fn determinism_diff(a: &Value, b: &Value) -> Result<(), String> {
+    for key in DETERMINISTIC_KEYS {
+        let (va, vb) = (a.get(key), b.get(key));
+        if va == vb {
+            continue;
+        }
+        if key == "results" {
+            return Err(first_result_divergence(va, vb));
+        }
+        return Err(format!("`{key}` differs: {} vs {}", render(va), render(vb)));
+    }
+    Ok(())
+}
+
+/// Locates the first differing cell/rep so the CI log says *where*
+/// determinism broke, not just that it did.
+fn first_result_divergence(a: Option<&Value>, b: Option<&Value>) -> String {
+    let (Some(cells_a), Some(cells_b)) = (a.and_then(Value::as_array), b.and_then(Value::as_array))
+    else {
+        return "`results` section missing or not an array in one file".to_string();
+    };
+    if cells_a.len() != cells_b.len() {
+        return format!(
+            "`results` cell count differs: {} vs {}",
+            cells_a.len(),
+            cells_b.len()
+        );
+    }
+    for (ca, cb) in cells_a.iter().zip(cells_b) {
+        if ca == cb {
+            continue;
+        }
+        let id = ca.get("id").and_then(Value::as_str).unwrap_or("<unnamed>");
+        let (reps_a, reps_b) = (
+            ca.get("reps").and_then(Value::as_array),
+            cb.get("reps").and_then(Value::as_array),
+        );
+        if let (Some(ra), Some(rb)) = (reps_a, reps_b) {
+            for (rep, (xa, xb)) in ra.iter().zip(rb).enumerate() {
+                if xa != xb {
+                    return format!("cell `{id}` rep {rep} differs: {xa} vs {xb}");
+                }
+            }
+        }
+        return format!("cell `{id}` differs");
+    }
+    "`results` differ but no differing cell was found (ordering?)".to_string()
+}
+
+fn render(v: Option<&Value>) -> String {
+    v.map_or_else(|| "<missing>".to_string(), ToString::to_string)
+}
+
+/// The numbers a perf comparison is judged on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfComparison {
+    /// Baseline raw wall seconds.
+    pub baseline_secs: f64,
+    /// Current raw wall seconds.
+    pub current_secs: f64,
+    /// Baseline wall time in calibration units (machine-portable).
+    pub baseline_norm: f64,
+    /// Current wall time in calibration units (machine-portable).
+    pub current_norm: f64,
+    /// `current_norm / baseline_norm` — >1 means the current run is
+    /// slower per unit of machine speed.
+    pub slowdown: f64,
+    /// `baseline_secs / current_secs` — same-machine speedup of the
+    /// current run over the baseline run.
+    pub speedup: f64,
+}
+
+fn timing_pair(v: &Value, which: &str) -> Result<(f64, f64), String> {
+    let timing = v
+        .get("timing")
+        .ok_or_else(|| format!("{which}: no `timing` section"))?;
+    let total = timing
+        .get("total_wall_secs")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{which}: no `timing.total_wall_secs`"))?;
+    let calibration = timing
+        .get("calibration_secs")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{which}: no `timing.calibration_secs`"))?;
+    if total <= 0.0 || calibration <= 0.0 {
+        return Err(format!(
+            "{which}: non-positive timing (total {total}, calibration {calibration})"
+        ));
+    }
+    Ok((total, calibration))
+}
+
+/// Computes the perf comparison between two bench JSONs.
+///
+/// # Errors
+///
+/// Returns a message when either file lacks usable timing.
+pub fn perf_compare(baseline: &Value, current: &Value) -> Result<PerfComparison, String> {
+    let (base_total, base_cal) = timing_pair(baseline, "baseline")?;
+    let (cur_total, cur_cal) = timing_pair(current, "current")?;
+    let baseline_norm = base_total / base_cal;
+    let current_norm = cur_total / cur_cal;
+    Ok(PerfComparison {
+        baseline_secs: base_total,
+        current_secs: cur_total,
+        baseline_norm,
+        current_norm,
+        slowdown: current_norm / baseline_norm,
+        speedup: base_total / cur_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(threads: u64, total: f64, cal: f64, payload: u64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"experiment":"e","seed":42,"reps":2,
+                 "results":[{{"id":"c","reps":[{payload},2]}}],
+                 "threads":{threads},
+                 "timing":{{"calibration_secs":{cal},"total_wall_secs":{total},"tasks":[]}}}}"#
+        ))
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn identical_results_pass_determinism_even_with_different_threads_and_timing() {
+        let a = bench(1, 10.0, 0.05, 1);
+        let b = bench(4, 3.0, 0.04, 1);
+        assert_eq!(determinism_diff(&a, &b), Ok(()));
+    }
+
+    #[test]
+    fn differing_results_fail_with_a_cell_level_message() {
+        let a = bench(1, 10.0, 0.05, 1);
+        let b = bench(1, 10.0, 0.05, 9);
+        let err = determinism_diff(&a, &b).expect_err("must differ");
+        assert!(err.contains("cell `c` rep 0"), "got: {err}");
+    }
+
+    #[test]
+    fn differing_seed_fails() {
+        let a = bench(1, 10.0, 0.05, 1);
+        let mut b = bench(1, 10.0, 0.05, 1);
+        if let Value::Object(fields) = &mut b {
+            for (k, v) in fields.iter_mut() {
+                if k == "seed" {
+                    *v = serde_json::to_value(&43u64).expect("value");
+                }
+            }
+        }
+        let err = determinism_diff(&a, &b).expect_err("must differ");
+        assert!(err.contains("`seed` differs"), "got: {err}");
+    }
+
+    #[test]
+    fn perf_numbers_normalize_by_calibration() {
+        // Baseline machine is 2x slower (calibration 0.10 vs 0.05): a raw
+        // 10s baseline and 6s current is a normalized slowdown of 1.2.
+        let base = bench(1, 10.0, 0.10, 1);
+        let cur = bench(1, 6.0, 0.05, 1);
+        let p = perf_compare(&base, &cur).expect("timing present");
+        assert!((p.baseline_norm - 100.0).abs() < 1e-9);
+        assert!((p.current_norm - 120.0).abs() < 1e-9);
+        assert!((p.slowdown - 1.2).abs() < 1e-9);
+        assert!((p.speedup - 10.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_timing_is_an_error() {
+        let a = bench(1, 10.0, 0.05, 1);
+        let no_timing: Value = serde_json::from_str(r#"{"experiment":"e"}"#).expect("parses");
+        assert!(perf_compare(&a, &no_timing).is_err());
+        assert!(perf_compare(&no_timing, &a).is_err());
+    }
+}

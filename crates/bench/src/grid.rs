@@ -1,0 +1,357 @@
+//! `run_grid` — the shared parallel experiment harness.
+//!
+//! An experiment is a **grid**: a list of named cells (parameter
+//! configurations) times `reps` seed-replications per cell. The harness
+//! flattens the grid into independent tasks, fans them across the
+//! deterministic replication pool (`hc_sim::par`), and regroups results
+//! cell-major / rep-minor — so the output is **byte-identical for every
+//! `--threads` value**. Each task's RNG comes from a per-index SplitMix
+//! derivation (`RngFactory::indexed_child(cell_id, rep)`), so no task
+//! can perturb another's stream.
+//!
+//! The harness also produces the **bench JSON**: a machine-readable
+//! record with two top-level sections —
+//!
+//! * `results` (+ `experiment`, `seed`, `reps`): deterministic, byte
+//!   identical across thread counts and machines — this is what CI's
+//!   determinism diff compares;
+//! * `timing` + `threads`: wall-clock per task and total, plus a
+//!   single-threaded `calibration_secs` spin so perf comparisons can be
+//!   normalized across machines of different speeds.
+
+use crate::cli::RunOpts;
+use hc_sim::{run_replications, ReplicationError, RngFactory, SimRng};
+use serde::Serialize;
+use serde_json::Value;
+use std::time::Instant;
+
+/// One grid cell: a human-readable id and the experiment's own config.
+#[derive(Debug, Clone)]
+pub struct Cell<C> {
+    /// Stable identifier used for RNG derivation and in the bench JSON
+    /// (e.g. `players=64` or `share=0.25/defense=+gold`).
+    pub id: String,
+    /// Experiment-specific cell configuration.
+    pub config: C,
+}
+
+impl<C> Cell<C> {
+    /// Builds a cell.
+    pub fn new(id: impl Into<String>, config: C) -> Self {
+        Cell {
+            id: id.into(),
+            config,
+        }
+    }
+}
+
+/// Per-task context handed to the grid job.
+#[derive(Debug)]
+pub struct TaskCtx {
+    /// Replication index within the cell (`0..reps`).
+    pub rep: usize,
+    /// A derived scalar seed, for APIs that build their own `RngFactory`.
+    pub seed: u64,
+    /// The task's own SplitMix-derived RNG stream.
+    pub rng: SimRng,
+}
+
+/// One cell's results, rep-minor.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResults<T> {
+    /// Cell id.
+    pub id: String,
+    /// One entry per replication, in rep order.
+    pub reps: Vec<T>,
+}
+
+/// Wall-clock record for one task.
+#[derive(Debug, Clone, Serialize)]
+pub struct TaskTiming {
+    /// Cell id.
+    pub cell: String,
+    /// Replication index.
+    pub rep: usize,
+    /// Wall seconds spent inside the job closure.
+    pub wall_secs: f64,
+}
+
+/// Machine-dependent timing section of the bench JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridTiming {
+    /// Seconds for a fixed single-threaded spin, measured just before
+    /// the grid ran — a unit of "this machine's speed" that perf
+    /// comparisons divide by.
+    pub calibration_secs: f64,
+    /// Wall seconds for the whole grid (pool setup to last merge).
+    pub total_wall_secs: f64,
+    /// Per-task wall times, task-index order.
+    pub tasks: Vec<TaskTiming>,
+}
+
+/// Everything a grid run produced.
+#[derive(Debug, Clone)]
+pub struct GridOutcome<T> {
+    /// Experiment name (the binary's stable id).
+    pub experiment: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Thread count the run used (timing context only).
+    pub threads: usize,
+    /// Replications per cell.
+    pub reps: usize,
+    /// Per-cell results, cell-major / rep-minor.
+    pub cells: Vec<CellResults<T>>,
+    /// Wall-clock measurements.
+    pub timing: GridTiming,
+}
+
+/// Runs `cells × reps` independent tasks on the replication pool and
+/// regroups the results deterministically.
+///
+/// # Errors
+///
+/// Propagates [`ReplicationError`] when a task panics (lowest task
+/// index) or the pool fails.
+pub fn run_grid<C, T, F>(
+    opts: &RunOpts,
+    experiment: &str,
+    cells: Vec<Cell<C>>,
+    reps: usize,
+    job: F,
+) -> Result<GridOutcome<T>, ReplicationError>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C, TaskCtx) -> T + Sync,
+{
+    let reps = reps.max(1);
+    let total = cells.len() * reps;
+    let factory = RngFactory::new(opts.seed).child(experiment);
+    let calibration_secs = calibrate();
+    let started = Instant::now();
+    let raw = run_replications(total, opts.threads, |index| {
+        let cell = &cells[index / reps];
+        let rep = index % reps;
+        let task_factory = factory.indexed_child(&cell.id, rep as u64);
+        let ctx = TaskCtx {
+            rep,
+            seed: task_factory.master_seed(),
+            rng: task_factory.stream("task"),
+        };
+        let clock = Instant::now();
+        let data = job(&cell.config, ctx);
+        (data, clock.elapsed().as_secs_f64())
+    })?;
+    let total_wall_secs = started.elapsed().as_secs_f64();
+
+    let mut tasks = Vec::with_capacity(total);
+    let mut grouped: Vec<CellResults<T>> = cells
+        .iter()
+        .map(|c| CellResults {
+            id: c.id.clone(),
+            reps: Vec::with_capacity(reps),
+        })
+        .collect();
+    for (index, (data, wall_secs)) in raw.into_iter().enumerate() {
+        let cell_index = index / reps;
+        tasks.push(TaskTiming {
+            cell: cells[cell_index].id.clone(),
+            rep: index % reps,
+            wall_secs,
+        });
+        if let Some(slot) = grouped.get_mut(cell_index) {
+            slot.reps.push(data);
+        }
+    }
+
+    Ok(GridOutcome {
+        experiment: experiment.to_string(),
+        seed: opts.seed,
+        threads: opts.threads,
+        reps,
+        cells: grouped,
+        timing: GridTiming {
+            calibration_secs,
+            total_wall_secs,
+            tasks,
+        },
+    })
+}
+
+impl<T: Serialize> GridOutcome<T> {
+    /// Renders the full bench JSON (deterministic sections first).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a result row fails to serialize.
+    pub fn to_bench_json(&self) -> Result<Value, String> {
+        let mut results = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let reps = serde_json::to_value(&cell.reps)
+                .map_err(|e| format!("serialize cell `{}`: {e}", cell.id))?;
+            results.push(Value::Object(vec![
+                ("id".to_string(), Value::String(cell.id.clone())),
+                ("reps".to_string(), reps),
+            ]));
+        }
+        let timing =
+            serde_json::to_value(&self.timing).map_err(|e| format!("serialize timing: {e}"))?;
+        Ok(Value::Object(vec![
+            (
+                "experiment".to_string(),
+                Value::String(self.experiment.clone()),
+            ),
+            (
+                "seed".to_string(),
+                serde_json::to_value(&self.seed).map_err(|e| e.to_string())?,
+            ),
+            (
+                "reps".to_string(),
+                serde_json::to_value(&self.reps).map_err(|e| e.to_string())?,
+            ),
+            ("results".to_string(), Value::Array(results)),
+            (
+                "threads".to_string(),
+                serde_json::to_value(&self.threads).map_err(|e| e.to_string())?,
+            ),
+            ("timing".to_string(), timing),
+        ]))
+    }
+
+    /// Writes the bench JSON to `opts.bench_json`, if requested, and
+    /// prints where it went. Exits with status 2 on IO/serialization
+    /// failure (tool-crate semantics: a bench run that cannot record
+    /// its results is dead).
+    pub fn write_bench_json(&self, opts: &RunOpts) {
+        let Some(path) = &opts.bench_json else {
+            return;
+        };
+        let rendered = match self.to_bench_json() {
+            Ok(v) => v.to_string(),
+            Err(e) => {
+                eprintln!("bench-json: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, rendered + "\n") {
+            eprintln!("bench-json: write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("bench JSON written to {}", path.display());
+    }
+}
+
+/// Measures a fixed single-threaded spin (~10⁷ LCG steps) as this
+/// machine's speed unit. Deliberately small next to any real grid.
+///
+/// Takes the minimum over several spins: scheduler preemption and
+/// frequency scaling only ever make a spin *slower*, so the minimum is
+/// the robust estimate of the machine's true speed — a single sample
+/// can be off by 3× under load, which would poison the normalized
+/// perf-regression comparison.
+#[must_use]
+pub fn calibrate() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let clock = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..20_000_000u64 {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        best = best.min(clock.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn opts(threads: usize) -> RunOpts {
+        RunOpts {
+            seed: 7,
+            threads,
+            reps: None,
+            smoke: false,
+            bench_json: None,
+        }
+    }
+
+    fn demo_cells() -> Vec<Cell<u64>> {
+        vec![
+            Cell::new("a=1", 1u64),
+            Cell::new("a=2", 2u64),
+            Cell::new("a=3", 3u64),
+        ]
+    }
+
+    fn draw_job(config: &u64, mut ctx: TaskCtx) -> Vec<u64> {
+        (0..*config + ctx.rep as u64 + 1)
+            .map(|_| ctx.rng.gen())
+            .collect()
+    }
+
+    #[test]
+    fn grid_groups_cell_major_rep_minor() {
+        let out = run_grid(&opts(1), "demo", demo_cells(), 2, draw_job).expect("grid runs");
+        assert_eq!(out.cells.len(), 3);
+        assert!(out.cells.iter().all(|c| c.reps.len() == 2));
+        assert_eq!(out.cells[0].id, "a=1");
+        assert_eq!(out.timing.tasks.len(), 6);
+        assert_eq!(out.timing.tasks[0].cell, "a=1");
+        assert_eq!(out.timing.tasks[1].rep, 1);
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let serial = run_grid(&opts(1), "demo", demo_cells(), 3, draw_job).expect("serial");
+        for threads in [2, 4, 7] {
+            let par = run_grid(&opts(threads), "demo", demo_cells(), 3, draw_job).expect("par");
+            let a = serial.to_bench_json().expect("json");
+            let b = par.to_bench_json().expect("json");
+            // The deterministic sections must match bit for bit.
+            assert_eq!(a.get("results"), b.get("results"), "threads={threads}");
+            assert_eq!(a.get("seed"), b.get("seed"));
+            assert_eq!(a.get("reps"), b.get("reps"));
+        }
+    }
+
+    #[test]
+    fn distinct_cells_and_reps_get_distinct_streams() {
+        let out = run_grid(&opts(2), "demo", demo_cells(), 2, |_c, mut ctx| {
+            ctx.rng.gen::<u64>()
+        })
+        .expect("grid runs");
+        let mut all: Vec<u64> = out.cells.iter().flat_map(|c| c.reps.clone()).collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "every (cell, rep) stream must differ");
+    }
+
+    #[test]
+    fn bench_json_has_the_contract_sections() {
+        let out = run_grid(&opts(1), "demo", demo_cells(), 1, draw_job).expect("grid runs");
+        let json = out.to_bench_json().expect("render");
+        for key in ["experiment", "seed", "reps", "results", "threads", "timing"] {
+            assert!(json.get(key).is_some(), "missing `{key}`");
+        }
+        let timing = json.get("timing").expect("timing");
+        assert!(timing
+            .get("calibration_secs")
+            .and_then(Value::as_f64)
+            .is_some());
+        assert!(timing
+            .get("total_wall_secs")
+            .and_then(Value::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn calibration_is_positive() {
+        assert!(calibrate() > 0.0);
+    }
+}

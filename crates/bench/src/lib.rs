@@ -14,9 +14,21 @@
 //! line per row (prefixed `JSON:`) so results can be scraped
 //! programmatically. All experiments are deterministic for a fixed
 //! `--seed` (default 42, first CLI argument).
+//!
+//! Grid-based experiments additionally accept `--threads N` (parallel
+//! replication pool; output bytes never change, see [`grid`]), `--reps`,
+//! `--smoke`, and `--bench-json PATH`; the `hc-bench` binary compares
+//! two bench JSONs for determinism or performance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod cli;
+pub mod compare;
+pub mod grid;
+
+pub use cli::RunOpts;
+pub use grid::{run_grid, Cell, GridOutcome, TaskCtx};
 
 use serde::Serialize;
 
@@ -132,35 +144,6 @@ impl Table {
     }
 }
 
-/// Runs `job` for each seed on its own thread (scoped via crossbeam) and
-/// returns results in seed order. Experiments use this for multi-seed
-/// robustness sweeps — every job gets an independent seed, so the outputs
-/// are order-independent by construction.
-pub fn parallel_seeds<T, F>(seeds: &[u64], job: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(u64) -> T + Sync,
-{
-    let mut slots: Vec<Option<T>> = (0..seeds.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (slot, &seed) in slots.iter_mut().zip(seeds) {
-            let job = &job;
-            handles.push(scope.spawn(move |_| {
-                *slot = Some(job(seed));
-            }));
-        }
-        for h in handles {
-            h.join().expect("seed job panicked");
-        }
-    })
-    .expect("scope");
-    slots
-        .into_iter()
-        .map(|s| s.expect("job filled slot"))
-        .collect()
-}
-
 /// Formats a float with 1 decimal.
 #[must_use]
 pub fn f1(x: f64) -> String {
@@ -209,14 +192,6 @@ mod tests {
         assert_eq!(f1(1.25), "1.2");
         assert_eq!(f3(0.12345), "0.123");
         assert_eq!(pct(0.856), "85.6%");
-    }
-
-    #[test]
-    fn parallel_seeds_preserves_order_and_values() {
-        let out = parallel_seeds(&[5, 1, 9, 3], |s| s * 10);
-        assert_eq!(out, vec![50, 10, 90, 30]);
-        let empty: Vec<u64> = parallel_seeds(&[], |s| s);
-        assert!(empty.is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::answer::Label;
 use crate::id::{PlayerId, TaskId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// What a task presents to the player — an abstract stimulus reference.
 ///

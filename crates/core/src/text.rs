@@ -99,7 +99,8 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         curr[0] = i + 1;
         for (j, &sc) in short.iter().enumerate() {
             let sub_cost = if lc == sc { 0 } else { 1 };
-            curr[j + 1] = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(curr[j] + 1); // hc-analyze: allow(P1): j + 1 <= short.len(), the row width
+            // hc-analyze: allow(P1): j + 1 <= short.len(), the row width
+            curr[j + 1] = (prev[j] + sub_cost).min(prev[j + 1] + 1).min(curr[j] + 1);
         }
         std::mem::swap(&mut prev, &mut curr);
     }

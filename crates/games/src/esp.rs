@@ -13,9 +13,9 @@
 //!    sittings, random matching, replay-bot fallback, engagement-driven
 //!    return visits — the machinery behind experiments T1 and F3–F6.
 
+use crate::params::SessionParams;
 use crate::world::{BaseWorld, WorldConfig};
 use hc_core::prelude::*;
-use crate::params::SessionParams;
 use hc_crowd::{ArchetypeMix, EngagementModel, Population, PopulationBuilder};
 use hc_sim::dist::Exponential;
 use hc_sim::{EventQueue, RngFactory, SimRng};
@@ -163,7 +163,8 @@ pub fn play_esp_session<R: Rng + ?Sized>(
         loop {
             // The seat whose next action is earliest moves.
             let seat_idx = if cursors[0] <= cursors[1] { 0 } else { 1 };
-            if guesses_left[seat_idx] == 0 && guesses_left[1 - seat_idx] == 0 { // hc-analyze: allow(P1): seat_idx is 0 or 1 by construction
+            // hc-analyze: allow(P1): seat_idx is 0 or 1 by construction
+            if guesses_left[seat_idx] == 0 && guesses_left[1 - seat_idx] == 0 {
                 break;
             }
             if guesses_left[seat_idx] == 0 {
@@ -743,12 +744,17 @@ mod tests {
     fn honest_pairs_match_and_verify() {
         let (mut platform, world, mut pop, mut r) = setup(2, ArchetypeMix::all_honest());
         let t = play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
-        &mut r,
-    );
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::pair(
+                PlayerId::new(0),
+                PlayerId::new(1),
+                SessionId::new(0),
+                SimTime::ZERO,
+            ),
+            &mut r,
+        );
         assert!(t.rounds() > 0);
         assert!(t.match_rate() > 0.5, "honest match rate {}", t.match_rate());
         assert!(!platform.verified_labels().is_empty());
@@ -780,12 +786,17 @@ mod tests {
         let mut rounds = 0;
         for s in 0..6 {
             let t = play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(s), SimTime::from_secs(s * 1000)),
-        &mut r,
-    );
+                &mut platform,
+                &world,
+                &mut pop,
+                SessionParams::pair(
+                    PlayerId::new(0),
+                    PlayerId::new(1),
+                    SessionId::new(s),
+                    SimTime::from_secs(s * 1000),
+                ),
+                &mut r,
+            );
             matched += t.matched_count();
             rounds += t.rounds();
         }
@@ -797,12 +808,17 @@ mod tests {
     fn session_respects_budgets() {
         let (mut platform, world, mut pop, mut r) = setup(2, ArchetypeMix::all_honest());
         let t = play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
-        &mut r,
-    );
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::pair(
+                PlayerId::new(0),
+                PlayerId::new(1),
+                SessionId::new(0),
+                SimTime::ZERO,
+            ),
+            &mut r,
+        );
         assert!(t.rounds() <= 15);
         // Duration can exceed the limit only by the final round + gap.
         assert!(t.duration() < SimDuration::from_secs(150 + 150 + 5));
@@ -812,12 +828,17 @@ mod tests {
     fn sessions_record_replay_traces() {
         let (mut platform, world, mut pop, mut r) = setup(2, ArchetypeMix::all_honest());
         play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
-        &mut r,
-    );
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::pair(
+                PlayerId::new(0),
+                PlayerId::new(1),
+                SessionId::new(0),
+                SimTime::ZERO,
+            ),
+            &mut r,
+        );
         assert!(platform.replay().covered_tasks() > 0);
     }
 
@@ -826,20 +847,29 @@ mod tests {
         let (mut platform, world, mut pop, mut r) = setup(3, ArchetypeMix::all_honest());
         // Seed recordings with a live session between 0 and 1.
         play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
-        &mut r,
-    );
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::pair(
+                PlayerId::new(0),
+                PlayerId::new(1),
+                SessionId::new(0),
+                SimTime::ZERO,
+            ),
+            &mut r,
+        );
         let before = platform.verified_labels().len();
         let t = play_esp_replay_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::solo(PlayerId::new(2), SessionId::new(1), SimTime::from_secs(1000)),
-        &mut r,
-    );
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::solo(
+                PlayerId::new(2),
+                SessionId::new(1),
+                SimTime::from_secs(1000),
+            ),
+            &mut r,
+        );
         assert!(t.rounds() > 0);
         // Replay rounds on recorded tasks can verify new labels (not
         // guaranteed every seed, but the pipeline must not error and the

@@ -65,8 +65,8 @@ pub use campaign::{
     Campaign, CampaignConfig, CampaignReport, SessionDriver, TagATuneDriver, VerbosityDriver,
 };
 pub use esp::{EspCampaign, EspCampaignConfig, EspCampaignReport, EspWorld};
-pub use params::SessionParams;
 pub use matchin::{play_matchin_session, BradleyTerryRanking, MatchinWorld};
+pub use params::SessionParams;
 pub use peekaboom::{play_peekaboom_session, PeekaboomWorld};
 pub use squigl::{play_squigl_session, SquiglWorld};
 pub use tagatune::{play_tagatune_session, TagATuneWorld};

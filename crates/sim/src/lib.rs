@@ -26,6 +26,7 @@
 //! | [`stats`] | Online statistics: Welford mean/variance, histograms, percentiles, confidence intervals |
 //! | [`queue`] | FIFO waiting queues with sojourn-time accounting |
 //! | [`runner`] | [`Simulation`] — a minimal driver looping an [`EventQueue`] to completion |
+//! | [`par`] | Deterministic work-stealing replication pool: same bytes at any `--threads` |
 //!
 //! ## Example
 //!
@@ -60,6 +61,7 @@
 pub mod arrival;
 pub mod dist;
 pub mod event;
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod runner;
@@ -70,6 +72,7 @@ pub mod timeseries;
 pub use arrival::{ArrivalProcess, DiurnalProcess, PoissonProcess};
 pub use dist::{Bernoulli, DiscreteDist, Exponential, Geometric, LogNormal, UniformRange, Zipf};
 pub use event::EventQueue;
+pub use par::{run_replications, run_seeded_replications, ReplicationError};
 pub use queue::FifoQueue;
 pub use rng::{RngFactory, SimRng};
 pub use runner::{Simulation, StepOutcome};
@@ -84,6 +87,7 @@ pub mod prelude {
         Bernoulli, DiscreteDist, Exponential, Geometric, LogNormal, UniformRange, Zipf,
     };
     pub use crate::event::EventQueue;
+    pub use crate::par::{run_replications, run_seeded_replications, ReplicationError};
     pub use crate::queue::FifoQueue;
     pub use crate::rng::{RngFactory, SimRng};
     pub use crate::runner::{Simulation, StepOutcome};

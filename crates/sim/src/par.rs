@@ -1,0 +1,353 @@
+//! Deterministic parallel replication pool.
+//!
+//! Experiments fan the same simulation out over many independent
+//! *replications* — seed variants, parameter-grid cells, or both. Each
+//! replication is a pure function of its index, so the set can run on
+//! any number of worker threads **without changing a single output
+//! byte**: the pool assigns every replication a stable index, derives
+//! its RNG from a per-index SplitMix stream ([`RngFactory::indexed_stream`]),
+//! and merges results back in index order. `--threads 8` and
+//! `--threads 1` are therefore byte-identical; threads only change how
+//! long you wait.
+//!
+//! ## Determinism contract
+//!
+//! 1. The job closure must be a pure function of `(index, rng)` — no
+//!    shared mutable state, no wall clock, no OS entropy (rules D1/D3
+//!    of `hc-analyze` enforce the latter two).
+//! 2. Results are returned as `Vec<T>` in replication-index order,
+//!    regardless of completion order.
+//! 3. A panicking replication surfaces as [`ReplicationError::Panicked`]
+//!    carrying the **lowest** panicking index — the same index the
+//!    serial path would report — instead of poisoning the pool.
+//!
+//! ## Scheduling
+//!
+//! Replications are pre-distributed round-robin onto per-worker FIFO
+//! queues (the vendored `crossbeam::deque::Worker`); an idle worker
+//! steals from the back of its peers' queues (`Stealer`), so a few
+//! expensive cells cannot serialize the whole grid behind one thread.
+
+use crate::rng::{RngFactory, SimRng};
+use crossbeam::deque::{Steal, Stealer, Worker};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why a replication run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationError {
+    /// A replication job panicked. `index` is the lowest panicking
+    /// replication index, matching what a serial run would hit first.
+    Panicked {
+        /// Replication index whose job panicked.
+        index: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The worker pool itself failed (a worker thread died outside a
+    /// job). This indicates a bug in the pool, not in a replication.
+    Pool {
+        /// Description of the pool failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationError::Panicked { index, message } => {
+                write!(f, "replication {index} panicked: {message}")
+            }
+            ReplicationError::Pool { message } => write!(f, "replication pool: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {}
+
+/// Renders a caught panic payload as a human-readable string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `jobs` independent replications of `job` across `threads`
+/// worker threads and returns their results **in index order**.
+///
+/// `threads` is clamped to `1..=jobs`; `threads <= 1` runs strictly
+/// serially on the calling thread (no pool is built at all). Because
+/// every job is a pure function of its index, the returned vector is
+/// identical for every thread count.
+///
+/// # Errors
+///
+/// Returns [`ReplicationError::Panicked`] when any job panics (lowest
+/// index wins, so the error is deterministic too), or
+/// [`ReplicationError::Pool`] if a worker thread itself fails.
+pub fn run_replications<T, F>(
+    jobs: usize,
+    threads: usize,
+    job: F,
+) -> Result<Vec<T>, ReplicationError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, jobs.max(1));
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(jobs);
+        for index in 0..jobs {
+            match catch_unwind(AssertUnwindSafe(|| job(index))) {
+                Ok(t) => out.push(t),
+                Err(payload) => {
+                    return Err(ReplicationError::Panicked {
+                        index,
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    // Pre-distribute indices round-robin onto per-worker FIFO queues.
+    let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+    for index in 0..jobs {
+        workers[index % threads].push(index);
+    }
+
+    type JobOutcomes<T> = Vec<(usize, Result<T, String>)>;
+    let scope_result = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (me, local) in workers.into_iter().enumerate() {
+            let stealers = &stealers;
+            let job = &job;
+            handles.push(scope.spawn(move |_| {
+                let mut outcomes: JobOutcomes<T> = Vec::new();
+                while let Some(index) = local.pop().or_else(|| steal_any(stealers, me)) {
+                    let result = catch_unwind(AssertUnwindSafe(|| job(index)))
+                        .map_err(|p| panic_message(p.as_ref()));
+                    outcomes.push((index, result));
+                }
+                outcomes
+            }));
+        }
+        let mut per_worker = Vec::new();
+        for handle in handles {
+            per_worker.push(handle.join());
+        }
+        per_worker
+    });
+
+    let per_worker = match scope_result {
+        Ok(v) => v,
+        Err(_) => {
+            return Err(ReplicationError::Pool {
+                message: "worker scope panicked".to_string(),
+            })
+        }
+    };
+
+    // Merge back in index order; the lowest panicking index wins so the
+    // error matches what a serial run would report.
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let mut first_panic: Option<(usize, String)> = None;
+    for worker_result in per_worker {
+        let outcomes = match worker_result {
+            Ok(o) => o,
+            Err(_) => {
+                return Err(ReplicationError::Pool {
+                    message: "a worker thread died outside a job".to_string(),
+                })
+            }
+        };
+        for (index, result) in outcomes {
+            match result {
+                Ok(t) => {
+                    if let Some(slot) = slots.get_mut(index) {
+                        *slot = Some(t);
+                    }
+                }
+                Err(message) => {
+                    let replace = first_panic.as_ref().is_none_or(|(i, _)| index < *i);
+                    if replace {
+                        first_panic = Some((index, message));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((index, message)) = first_panic {
+        return Err(ReplicationError::Panicked { index, message });
+    }
+    let mut out = Vec::with_capacity(jobs);
+    for slot in slots {
+        match slot {
+            Some(t) => out.push(t),
+            None => {
+                return Err(ReplicationError::Pool {
+                    message: "a replication produced no result".to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Runs `jobs` seeded replications: job `i` receives the RNG stream
+/// `factory.indexed_stream(label, i)` — an independent, per-index
+/// SplitMix-derived stream — so outputs depend only on `(factory seed,
+/// label, index)`, never on the thread count or completion order.
+///
+/// # Errors
+///
+/// Propagates [`ReplicationError`] exactly as [`run_replications`].
+pub fn run_seeded_replications<T, F>(
+    factory: &RngFactory,
+    label: &str,
+    jobs: usize,
+    threads: usize,
+    job: F,
+) -> Result<Vec<T>, ReplicationError>
+where
+    T: Send,
+    F: Fn(usize, SimRng) -> T + Sync,
+{
+    run_replications(jobs, threads, |index| {
+        job(index, factory.indexed_stream(label, index as u64))
+    })
+}
+
+/// Steals one index from any peer's queue back-end, skipping our own.
+fn steal_any(stealers: &[Stealer<usize>], me: usize) -> Option<usize> {
+    loop {
+        let mut retry = false;
+        for (i, stealer) in stealers.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(index) => return Some(index),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_replications(17, threads, |i| i * i).expect("no panics");
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jobs_yield_an_empty_vec() {
+        let out: Vec<u64> = run_replications(0, 4, |_| 7).expect("no panics");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = run_replications(3, 64, |i| i + 1).expect("no panics");
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn a_panicking_replication_surfaces_as_an_error() {
+        let err = run_replications(9, 3, |i| {
+            if i == 5 {
+                panic!("replication 5 exploded");
+            }
+            i
+        })
+        .expect_err("job 5 panics");
+        match err {
+            ReplicationError::Panicked { index, message } => {
+                assert_eq!(index, 5);
+                assert!(message.contains("exploded"), "message: {message}");
+            }
+            other => panic!("wrong error variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn lowest_panicking_index_wins_even_in_parallel() {
+        let err = run_replications(12, 4, |i| {
+            if i % 3 == 1 {
+                panic!("boom at {i}");
+            }
+            i
+        })
+        .expect_err("several jobs panic");
+        match err {
+            ReplicationError::Panicked { index, .. } => assert_eq!(index, 1),
+            other => panic!("wrong error variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn serial_panic_reports_the_same_index_as_parallel() {
+        let serial = run_replications(12, 1, |i| {
+            if i % 3 == 1 {
+                panic!("boom");
+            }
+            i
+        })
+        .expect_err("panics");
+        let parallel = run_replications(12, 4, |i| {
+            if i % 3 == 1 {
+                panic!("boom");
+            }
+            i
+        })
+        .expect_err("panics");
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn seeded_replications_are_thread_count_invariant() {
+        let factory = RngFactory::new(42);
+        let draw =
+            |_i: usize, mut rng: SimRng| -> Vec<u64> { (0..16).map(|_| rng.gen()).collect() };
+        let serial = run_seeded_replications(&factory, "grid", 10, 1, draw).expect("serial clean");
+        for threads in [2, 3, 4, 7] {
+            let parallel =
+                run_seeded_replications(&factory, "grid", 10, threads, draw).expect("par clean");
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn error_renders_with_index_and_message() {
+        let e = ReplicationError::Panicked {
+            index: 3,
+            message: "kaput".to_string(),
+        };
+        assert_eq!(e.to_string(), "replication 3 panicked: kaput");
+        let p = ReplicationError::Pool {
+            message: "gone".to_string(),
+        };
+        assert_eq!(p.to_string(), "replication pool: gone");
+    }
+}

@@ -249,8 +249,7 @@ impl SampleSet {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values
-                .sort_by(f64::total_cmp);
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }

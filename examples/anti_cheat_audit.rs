@@ -61,12 +61,12 @@ fn main() {
             b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
         }
         play_esp_session(
-        &mut platform,
-        &world,
-        &mut population,
-        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
-        &mut rng,
-    );
+            &mut platform,
+            &world,
+            &mut population,
+            SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+            &mut rng,
+        );
     }
 
     let attack = Label::new(ATTACK);

@@ -41,12 +41,17 @@ fn main() {
     }
     for s in 0..6u64 {
         play_esp_session(
-        &mut platform,
-        &world,
-        &mut population,
-        SessionParams::pair(PlayerId::new((s % 2) * 2), PlayerId::new((s % 2) * 2 + 1), SessionId::new(s), SimTime::from_secs(s * 1_000)),
-        &mut rng,
-    );
+            &mut platform,
+            &world,
+            &mut population,
+            SessionParams::pair(
+                PlayerId::new((s % 2) * 2),
+                PlayerId::new((s % 2) * 2 + 1),
+                SessionId::new(s),
+                SimTime::from_secs(s * 1_000),
+            ),
+            &mut rng,
+        );
     }
     let you = platform.register_player();
 

@@ -101,8 +101,8 @@ pub mod prelude {
     };
     pub use hc_games::{
         esp::{play_esp_replay_session, play_esp_session},
-        params::SessionParams,
         matchin::play_matchin_session,
+        params::SessionParams,
         peekaboom::play_peekaboom_session,
         squigl::play_squigl_session,
         tagatune::play_tagatune_session,

@@ -62,12 +62,12 @@ fn esp_sessions_respect_shared_invariants() {
     for s in 0..5 {
         let (a, b) = pair(s);
         let t = play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
-        &mut rng,
-    );
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+            &mut rng,
+        );
         check_transcript(&t, &platform);
     }
     assert_eq!(platform.metrics().player_count as usize, PLAYERS.min(10));

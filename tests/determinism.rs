@@ -48,7 +48,11 @@ fn same_seed_runs_emit_byte_identical_label_snapshots() {
         for s in 0..60u64 {
             let a = PlayerId::new(s % 8);
             let b = PlayerId::new((s + 1 + s / 8) % 8);
-            let b = if a == b { PlayerId::new((b.raw() + 1) % 8) } else { b };
+            let b = if a == b {
+                PlayerId::new((b.raw() + 1) % 8)
+            } else {
+                b
+            };
             play_esp_session(
                 &mut platform,
                 &world,

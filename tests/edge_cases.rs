@@ -48,7 +48,12 @@ fn session_with_exhausted_task_queue_ends_cleanly() {
         &mut platform,
         &world,
         &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
+        SessionParams::pair(
+            PlayerId::new(0),
+            PlayerId::new(1),
+            SessionId::new(0),
+            SimTime::ZERO,
+        ),
         &mut rng,
     );
     assert_eq!(t.rounds(), 1, "one task, one round, clean stop");
@@ -79,7 +84,12 @@ fn tiny_session_budgets_are_respected() {
         &mut platform,
         &world,
         &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
+        SessionParams::pair(
+            PlayerId::new(0),
+            PlayerId::new(1),
+            SessionId::new(0),
+            SimTime::ZERO,
+        ),
         &mut rng,
     );
     assert!(t.rounds() <= 1);
@@ -105,12 +115,17 @@ fn completion_threshold_drains_the_world() {
     platform.register_player();
     for s in 0..20u64 {
         play_esp_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(s), SimTime::from_secs(s * 1_000)),
-        &mut rng,
-    );
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::pair(
+                PlayerId::new(0),
+                PlayerId::new(1),
+                SessionId::new(s),
+                SimTime::from_secs(s * 1_000),
+            ),
+            &mut rng,
+        );
         if platform.tasks().completed_count() == 10 {
             break;
         }
@@ -121,7 +136,12 @@ fn completion_threshold_drains_the_world() {
         &mut platform,
         &world,
         &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(999), SimTime::from_secs(10_000_000)),
+        SessionParams::pair(
+            PlayerId::new(0),
+            PlayerId::new(1),
+            SessionId::new(999),
+            SimTime::from_secs(10_000_000),
+        ),
         &mut rng,
     );
     assert_eq!(t.rounds(), 0);
@@ -168,7 +188,12 @@ fn all_spammer_crowd_verifies_almost_nothing_true() {
         &mut platform,
         &world,
         &mut pop,
-        SessionParams::pair(PlayerId::new(0), PlayerId::new(1), SessionId::new(0), SimTime::ZERO),
+        SessionParams::pair(
+            PlayerId::new(0),
+            PlayerId::new(1),
+            SessionId::new(0),
+            SimTime::ZERO,
+        ),
         &mut rng,
     );
     // Spammers agree with each other constantly — but never truthfully.

@@ -25,12 +25,12 @@ fn run_sessions(
             b = PlayerId::new((b.raw() + 1) % PLAYERS as u64);
         }
         play_esp_session(
-        platform,
-        world,
-        pop,
-        SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
-        rng,
-    );
+            platform,
+            world,
+            pop,
+            SessionParams::pair(a, b, SessionId::new(s), SimTime::from_secs(s * 1_000)),
+            rng,
+        );
     }
 }
 
@@ -215,12 +215,16 @@ fn replay_fallback_preserves_label_quality() {
     for s in 0..30u64 {
         let p = PlayerId::new(s % PLAYERS as u64);
         play_esp_replay_session(
-        &mut platform,
-        &world,
-        &mut pop,
-        SessionParams::solo(p, SessionId::new(1_000 + s), SimTime::from_secs(100_000 + s * 1_000)),
-        &mut rng,
-    );
+            &mut platform,
+            &world,
+            &mut pop,
+            SessionParams::solo(
+                p,
+                SessionId::new(1_000 + s),
+                SimTime::from_secs(100_000 + s * 1_000),
+            ),
+            &mut rng,
+        );
     }
     let (correct, total) = world.verified_precision(&platform);
     assert!(

@@ -1,0 +1,241 @@
+//! Offline stand-in for `crossbeam-deque`: the `Injector` / `Worker` /
+//! `Stealer` work-stealing triad, implemented safely over
+//! `Mutex<VecDeque>` (no lock-free magic, same API shape and semantics).
+//!
+//! * a [`Worker`] owns a local FIFO queue: `push` to the back, `pop`
+//!   from the front;
+//! * its [`Stealer`] handles steal single items from the *back* (the
+//!   classic steal-from-the-opposite-end discipline, which minimizes
+//!   contention with the owner);
+//! * an [`Injector`] is a shared global FIFO every thread may push to
+//!   and steal from.
+//!
+//! All three are cheap to clone where the real crate allows it and every
+//! steal returns a [`Steal`] verdict, so call sites written against
+//! crossbeam-deque port over unchanged.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks a queue, recovering from a poisoned mutex: a panicked peer
+/// cannot corrupt a `VecDeque` of owned items, so its contents stay
+/// usable.
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried. The mutex-based
+    /// stand-in never loses races, but callers written for the lock-free
+    /// original must still handle it.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+/// A shared global FIFO queue all threads may push to and steal from.
+#[derive(Debug)]
+pub struct Injector<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Clone for Injector<T> {
+    fn clone(&self) -> Self {
+        Injector {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    #[must_use]
+    pub fn new() -> Self {
+        Injector {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes an item onto the back of the global queue.
+    pub fn push(&self, item: T) {
+        lock(&self.queue).push_back(item);
+    }
+
+    /// Steals one item from the front of the global queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the queue is currently empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued items (racy, advisory only).
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+/// A thread-local FIFO work queue whose back end other threads may
+/// steal from through a [`Stealer`].
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty FIFO worker queue.
+    #[must_use]
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes an item onto the back of the local queue.
+    pub fn push(&self, item: T) {
+        lock(&self.queue).push_back(item);
+    }
+
+    /// Pops an item from the front of the local queue (FIFO order).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_front()
+    }
+
+    /// Creates a stealer handle sharing this queue.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Whether the local queue is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+/// A handle for stealing from another thread's [`Worker`] queue.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one item from the back of the owning worker's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_back() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the observed queue is empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal().success(), Some(1));
+        assert_eq!(inj.steal().success(), Some(2));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn worker_pops_fifo_and_stealer_takes_from_the_back() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(3));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing_drains_everything() {
+        let inj = Injector::new();
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            for _ in 0..4 {
+                let inj = &inj;
+                let total = &total;
+                scope.spawn(move |_| {
+                    while let Steal::Success(_) = inj.steal() {
+                        total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 100);
+        assert!(inj.is_empty());
+    }
+}

@@ -1,10 +1,13 @@
-//! Offline stand-in for `crossbeam`: just the `thread::scope` API the
-//! workspace uses, implemented over `std::thread::scope` (safe, no
-//! dependencies). The crossbeam-style closure argument (`|scope| ...`,
-//! `spawn(|_| ...)`) is preserved.
+//! Offline stand-in for `crossbeam`: the `thread::scope` and
+//! work-stealing `deque` APIs the workspace uses, implemented over
+//! `std::thread::scope` and `Mutex<VecDeque>` (safe, no dependencies).
+//! The crossbeam-style closure argument (`|scope| ...`, `spawn(|_| ...)`)
+//! is preserved.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod deque;
 
 /// Scoped threads mirroring `crossbeam::thread`.
 pub mod thread {

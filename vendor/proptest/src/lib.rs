@@ -361,9 +361,11 @@ fn parse_seq(
             }
             '[' => Node::Class(parse_class(chars, pattern)),
             '.' => Node::Dot,
-            '\\' => Node::Lit(chars.next().unwrap_or_else(|| {
-                panic!("dangling escape in pattern `{pattern}`")
-            })),
+            '\\' => Node::Lit(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern `{pattern}`")),
+            ),
             '|' | '^' | '$' => panic!("unsupported regex feature `{c}` in `{pattern}`"),
             other => Node::Lit(other),
         };
@@ -405,10 +407,7 @@ fn parse_class(
     ranges
 }
 
-fn parse_quant(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-    pattern: &str,
-) -> Quant {
+fn parse_quant(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Quant {
     match chars.peek() {
         Some('?') => {
             chars.next();
@@ -583,7 +582,10 @@ pub fn __run_property(
             Ok(()) => successes += 1,
             Err(TestCaseError::Reject) => {}
             Err(TestCaseError::Fail(message)) => {
-                panic!("{name}: property failed at case #{}: {message}", attempts - 1)
+                panic!(
+                    "{name}: property failed at case #{}: {message}",
+                    attempts - 1
+                )
             }
         }
     }
@@ -691,8 +693,8 @@ macro_rules! prop_assume {
 /// the config type, and the `prop` combinator namespace.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any,
-        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError,
     };
 
     /// Namespace mirror so `prop::collection::vec` / `prop::option::of` work.

@@ -169,7 +169,10 @@ mod tests {
     fn sample_iter_draws_from_standard() {
         let r = StdRng::seed_from_u64(17);
         let xs: Vec<u64> = r.sample_iter(Standard).take(4).collect();
-        let ys: Vec<u64> = StdRng::seed_from_u64(17).sample_iter(Standard).take(4).collect();
+        let ys: Vec<u64> = StdRng::seed_from_u64(17)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
         assert_eq!(xs, ys);
     }
 }

@@ -388,7 +388,9 @@ where
     S: std::hash::BuildHasher + Default,
 {
     fn deserialize_value(value: &Value) -> Result<Self, DeError> {
-        Ok(deserialize_map_entries::<K, V>(value)?.into_iter().collect())
+        Ok(deserialize_map_entries::<K, V>(value)?
+            .into_iter()
+            .collect())
     }
 }
 
@@ -404,7 +406,9 @@ where
     V: Deserialize<'de>,
 {
     fn deserialize_value(value: &Value) -> Result<Self, DeError> {
-        Ok(deserialize_map_entries::<K, V>(value)?.into_iter().collect())
+        Ok(deserialize_map_entries::<K, V>(value)?
+            .into_iter()
+            .collect())
     }
 }
 

@@ -52,14 +52,18 @@ enum Kind {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives `serde::Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -357,10 +361,7 @@ fn gen_serialize(input: &Input) -> String {
             let items: Vec<String> = (0..types.len())
                 .map(|i| format!("serde::Serialize::serialize_value(&self.{i})"))
                 .collect();
-            format!(
-                "serde::Value::Array(::std::vec![{}])",
-                items.join(", ")
-            )
+            format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
         }
         Kind::UnitStruct => "serde::Value::Null".to_string(),
         Kind::Enum(variants) => {
@@ -393,8 +394,7 @@ fn gen_serialize(input: &Input) -> String {
                         ));
                     }
                     VariantShape::Named(fields) => {
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let items: Vec<String> = fields
                             .iter()
                             .map(|f| {
@@ -428,8 +428,7 @@ fn gen_serialize(input: &Input) -> String {
 }
 
 fn gen_deserialize(input: &Input) -> String {
-    let (impl_generics, ty) =
-        impl_header(input, "for<'__x> serde::Deserialize<'__x>", Some("'de"));
+    let (impl_generics, ty) = impl_header(input, "for<'__x> serde::Deserialize<'__x>", Some("'de"));
     let name = &input.name;
     let body = match &input.kind {
         Kind::NamedStruct(fields) => {
@@ -483,7 +482,12 @@ fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
     let unit_arms: Vec<String> = variants
         .iter()
         .filter(|v| matches!(v.shape, VariantShape::Unit))
-        .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n", v.name))
+        .map(|v| {
+            format!(
+                "\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n",
+                v.name
+            )
+        })
         .collect();
     let mut payload_arms = String::new();
     for v in variants {

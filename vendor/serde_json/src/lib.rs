@@ -301,8 +301,7 @@ impl Parser<'_> {
                             if !(0xDC00..0xE000).contains(&lo) {
                                 return Err(Error::new("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                             char::from_u32(combined)
                         } else {
                             char::from_u32(cp)
@@ -310,15 +309,10 @@ impl Parser<'_> {
                         out.push(c.ok_or_else(|| Error::new("invalid \\u escape"))?);
                     }
                     other => {
-                        return Err(Error::new(format!(
-                            "invalid escape `\\{}`",
-                            other as char
-                        )))
+                        return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                     }
                 },
-                other if other < 0x20 => {
-                    return Err(Error::new("raw control character in string"))
-                }
+                other if other < 0x20 => return Err(Error::new("raw control character in string")),
                 _ => unreachable!("fast path consumed plain bytes"),
             }
         }
