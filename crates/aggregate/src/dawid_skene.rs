@@ -183,6 +183,10 @@ impl DawidSkene {
             }
         }
 
+        if hc_obs::active() {
+            hc_obs::counter_now("aggregate.em_fits", 1);
+            hc_obs::counter_now("aggregate.em_iterations", iterations as u64);
+        }
         DawidSkeneFit {
             posteriors,
             confusion,

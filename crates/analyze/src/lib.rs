@@ -16,6 +16,7 @@
 //! | D2 | error | library crates | no `HashMap`/`HashSet` (iteration-order nondeterminism); use `BTreeMap`/`BTreeSet` |
 //! | D3 | error | library crates | no ad-hoc threading (`std::thread`, `crossbeam`, mpsc channels) outside `hc-sim::par` — all parallelism goes through the replication pool |
 //! | P1 | error | library crates | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` or computed-index slicing |
+//! | O1 | error | library crates | no `println!`/`eprintln!`/`dbg!` — library code emits through `hc-obs`; only the `hc-obs` sink modules may write output |
 //! | H1 | error | whole workspace | no `unsafe` code |
 //! | H2 | error | `hc-core` | every `pub` item carries a doc comment |
 //! | A1 | error | everywhere | `hc-analyze: allow(...)` must carry a justification |
@@ -36,7 +37,15 @@ use std::path::{Path, PathBuf};
 /// Library crates whose code must be deterministic and panic-free.
 /// `hc-bench` and `hc-analyze` are tool crates: they may read the OS
 /// environment and abort on broken invariants.
-const LIBRARY_CRATES: [&str; 6] = ["sim", "core", "crowd", "games", "captcha", "aggregate"];
+const LIBRARY_CRATES: [&str; 7] = [
+    "sim",
+    "core",
+    "crowd",
+    "games",
+    "captcha",
+    "aggregate",
+    "obs",
+];
 
 /// Path fragments never scanned: external stand-ins, build output, VCS
 /// metadata, and the analyzer's own seeded-violation fixtures.
@@ -58,7 +67,7 @@ pub enum Severity {
 /// One finding, anchored to a file and 1-based line.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic {
-    /// Rule id (`D1`, `D2`, `D3`, `P1`, `H1`, `H2`, `A1`, `A2`).
+    /// Rule id (`D1`, `D2`, `D3`, `P1`, `O1`, `H1`, `H2`, `A1`, `A2`).
     pub rule: String,
     /// Error or warning.
     pub severity: Severity,
@@ -370,6 +379,22 @@ pub fn d3_exempt(rel_path: &str) -> bool {
     rel_path == "crates/sim/src/par.rs" || rel_path.starts_with("crates/sim/src/par/")
 }
 
+/// O1: direct console output. Library code must emit structured
+/// records through `hc-obs` (or return data) rather than printing;
+/// stray prints corrupt the experiment binaries' `JSON:` stdout
+/// protocol and hide information from the trace tooling. `eprintln!(`
+/// is listed before `println!(` so the diagnostic names the token that
+/// actually appears (the latter is a substring of the former).
+const O1_TOKENS: [&str; 3] = ["eprintln!(", "println!(", "dbg!("];
+
+/// Paths allowed to produce output directly: the `hc-obs` sink modules,
+/// the one sanctioned boundary between recorded traces and the outside
+/// world.
+#[must_use]
+pub fn o1_exempt(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/obs/src/sink")
+}
+
 const P1_TOKENS: [&str; 6] = [
     ".unwrap()",
     ".expect(",
@@ -466,6 +491,13 @@ fn has_computed_index(code: &str) -> bool {
         }
     }
     false
+}
+
+fn check_o1(code: &str) -> Option<String> {
+    O1_TOKENS
+        .iter()
+        .find(|t| code.contains(*t))
+        .map(|t| format!("`{}` writes directly to the console; library code must emit through `hc-obs` (spans/events/counters) or return data — only the hc-obs sink modules may print", t.trim_end_matches('(')))
 }
 
 fn check_h1(code: &str) -> Option<String> {
@@ -589,6 +621,11 @@ pub fn analyze_source(source: &str, rel_path: &str, kind: FileKind, report: &mut
             }
             if let Some(m) = check_p1(&line.code) {
                 findings.push(("P1", Severity::Error, m));
+            }
+            if !o1_exempt(rel_path) {
+                if let Some(m) = check_o1(&line.code) {
+                    findings.push(("O1", Severity::Error, m));
+                }
             }
         }
         if let Some(m) = check_h1(&line.code) {
@@ -830,6 +867,31 @@ mod tests {
     }
 
     #[test]
+    fn o1_flags_direct_output_in_library_code() {
+        let r = run("fn f() { println!(\"progress\"); }\n", LIB);
+        assert_eq!(rules(&r), vec![("O1", 1)]);
+        let r = run("fn f() { eprintln!(\"oops\"); }\n", LIB);
+        assert_eq!(rules(&r), vec![("O1", 1)]);
+        let r = run("fn f(x: u32) -> u32 { dbg!(x) }\n", LIB);
+        assert_eq!(rules(&r), vec![("O1", 1)]);
+        // The diagnostic names the token that actually appears.
+        let r = run("fn f() { eprintln!(\"oops\"); }\n", LIB);
+        assert!(r.diagnostics[0].message.contains("`eprintln!`"));
+        // Tool crates and test modules may print freely.
+        let r = run("fn f() { println!(\"ok\"); }\n", FileKind::Tool);
+        assert_eq!(rules(&r), vec![]);
+        // The hc-obs sink modules are the sanctioned output boundary.
+        let mut report = Report::default();
+        analyze_source(
+            "fn f() { println!(\"line\"); }\n",
+            "crates/obs/src/sink/jsonl.rs",
+            LIB,
+            &mut report,
+        );
+        assert_eq!(rules(&report), vec![]);
+    }
+
+    #[test]
     fn h1_flags_unsafe_but_not_the_lint_name() {
         let r = run("fn f() { unsafe { std::mem::zeroed() } }\n", FileKind::Tool);
         assert!(rules(&r).contains(&("H1", 1)));
@@ -919,6 +981,7 @@ fn f(xs: &[u32], i: usize) -> u32 { xs[i - 1] }
     fn classification_maps_paths_to_rule_sets() {
         assert_eq!(classify("crates/core/src/jobs.rs"), CORE);
         assert_eq!(classify("crates/sim/src/rng.rs"), LIB);
+        assert_eq!(classify("crates/obs/src/collector.rs"), LIB);
         assert_eq!(classify("crates/bench/src/lib.rs"), FileKind::Tool);
         assert_eq!(classify("crates/analyze/src/main.rs"), FileKind::Tool);
         assert_eq!(classify("crates/sim/tests/props.rs"), FileKind::Test);

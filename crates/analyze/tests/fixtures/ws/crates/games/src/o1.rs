@@ -1,0 +1,10 @@
+//! Planted O1 violations: direct console output in library code.
+
+pub fn noisy_progress() {
+    println!("progress: 50%");
+}
+
+pub fn noisy_debugging(x: u32) -> u32 {
+    eprintln!("x = {x}");
+    dbg!(x)
+}

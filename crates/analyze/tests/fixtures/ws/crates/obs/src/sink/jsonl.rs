@@ -1,0 +1,6 @@
+//! Mirrors the real `hc-obs` sink path: the one library location where
+//! direct output is sanctioned, so O1 must stay silent here.
+
+pub fn emit(line: &str) {
+    println!("{line}");
+}

@@ -27,6 +27,9 @@ fn planted_violations_fire_exactly() {
         ("H2", "crates/core/src/h2.rs", 6),
         ("D3", "crates/games/src/d3.rs", 4),
         ("D3", "crates/games/src/d3.rs", 9),
+        ("O1", "crates/games/src/o1.rs", 4),
+        ("O1", "crates/games/src/o1.rs", 8),
+        ("O1", "crates/games/src/o1.rs", 9),
         ("P1", "crates/games/src/p1.rs", 4),
         ("P1", "crates/games/src/p1.rs", 8),
         ("A1", "crates/sim/src/allowed.rs", 13),
@@ -61,6 +64,21 @@ fn the_replication_pool_path_is_exempt_from_d3() {
     assert!(
         !report.diagnostics.iter().any(|d| d.path.contains("par.rs")),
         "D3 fired on the exempt pool path: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn the_obs_sink_path_is_exempt_from_o1() {
+    // fixtures/ws/crates/obs/src/sink/jsonl.rs prints, mirroring the
+    // real sink modules; the path-based exemption must keep it silent.
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.path.contains("obs/src/sink")),
+        "O1 fired on the exempt sink path: {:?}",
         report.diagnostics
     );
 }
@@ -107,5 +125,5 @@ fn fixture_report_round_trips_through_json() {
 #[test]
 fn files_scanned_counts_every_fixture() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
-    assert_eq!(report.files_scanned, 9);
+    assert_eq!(report.files_scanned, 11);
 }

@@ -176,6 +176,7 @@ fn main() {
     table.print();
     println!("\nexpected shape: replay share is lowest at the traffic peak (hour ~6) and highest in the dead of night (hour ~18) — live pairing is super-linear in arrival rate");
     outcome.write_bench_json(&opts);
+    outcome.write_trace(&opts);
 }
 
 /// Rebuilds a matcher containing exactly `waiting` (preserving policy and

@@ -231,4 +231,5 @@ fn main() {
     table.print();
     println!("\nexpected shape: poison rate falls with each defense layer; gold + reputation drives it toward zero while honest verification volume survives");
     outcome.write_bench_json(&opts);
+    outcome.write_trace(&opts);
 }

@@ -148,4 +148,5 @@ fn main() {
     );
     println!("\nexpected shape: replay share and wait fall as the population grows; per-human-hour throughput stabilizes once live pairing dominates");
     outcome.write_bench_json(&opts);
+    outcome.write_trace(&opts);
 }

@@ -201,4 +201,5 @@ fn main() {
     table.print();
     println!("\nevery headline claim must hold at the CI lower bound, not just the seed-42 point estimate");
     outcome.write_bench_json(&opts);
+    outcome.write_trace(&opts);
 }

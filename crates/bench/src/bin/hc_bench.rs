@@ -4,6 +4,8 @@
 //! hc-bench compare --determinism A.json B.json
 //! hc-bench compare --baseline BASE.json --current CUR.json \
 //!                  [--max-slowdown X] [--min-speedup Y]
+//! hc-bench trace summary TRACE.jsonl
+//! hc-bench trace export-chrome TRACE.jsonl OUT.json
 //! ```
 //!
 //! * `--determinism` verifies that the deterministic sections of two
@@ -13,26 +15,68 @@
 //!   slower than the baseline (machine-portable, for committed
 //!   baselines); `--min-speedup Y` fails when the raw wall-clock
 //!   speedup of current over baseline is below `Y` (same-machine, for
-//!   `--threads 1` vs `--threads N` runs).
+//!   `--threads 1` vs `--threads N` runs);
+//! * `trace summary` prints the sim-time span/counter summary of a
+//!   recorded trace (from an experiment's `--trace PATH`);
+//! * `trace export-chrome` converts a trace to Chrome trace-event JSON
+//!   loadable in Perfetto or `chrome://tracing`.
 //!
 //! Exit status: 0 pass, 1 check failed, 2 usage/IO error.
 
 use hc_bench::compare::{determinism_diff, load_bench_json, perf_compare};
-use std::path::PathBuf;
+use hc_bench::trace::{load_trace, summarize};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: hc-bench compare --determinism A B
-       hc-bench compare --baseline BASE --current CUR [--max-slowdown X] [--min-speedup Y]";
+       hc-bench compare --baseline BASE --current CUR [--max-slowdown X] [--min-speedup Y]
+       hc-bench trace summary TRACE
+       hc-bench trace export-chrome TRACE OUT";
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("{message}\n{USAGE}");
     ExitCode::from(2)
 }
 
+fn trace_command(args: &[String]) -> ExitCode {
+    match args {
+        [cmd, path] if cmd == "summary" => match load_trace(Path::new(path)) {
+            Ok(trace) => {
+                print!("{}", summarize(&trace));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("hc-bench: {e}");
+                ExitCode::from(2)
+            }
+        },
+        [cmd, input, output] if cmd == "export-chrome" => {
+            let trace = match load_trace(Path::new(input)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("hc-bench: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let rendered = hc_obs::sink::chrome::render(&trace);
+            if let Err(e) = std::fs::write(output, rendered) {
+                eprintln!("hc-bench: write {output}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("chrome trace written to {output}");
+            ExitCode::SUCCESS
+        }
+        _ => usage_error("expected `trace summary TRACE` or `trace export-chrome TRACE OUT`"),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_command(&args[1..]);
+    }
     if args.first().map(String::as_str) != Some("compare") {
-        return usage_error("expected the `compare` subcommand");
+        return usage_error("expected the `compare` or `trace` subcommand");
     }
 
     let mut determinism: Vec<PathBuf> = Vec::new();

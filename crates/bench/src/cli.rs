@@ -3,7 +3,7 @@
 //! Every grid-based experiment accepts the same flags:
 //!
 //! ```text
-//! exp_* [SEED] [--seed N] [--threads N] [--reps N] [--smoke] [--bench-json PATH]
+//! exp_* [SEED] [--seed N] [--threads N] [--reps N] [--smoke] [--bench-json PATH] [--trace PATH]
 //! ```
 //!
 //! * `SEED` / `--seed N` — master seed (default 42; the bare positional
@@ -15,7 +15,11 @@
 //!   its own default);
 //! * `--smoke` — reduced grid for CI smoke runs;
 //! * `--bench-json PATH` — write the machine-readable bench JSON
-//!   (deterministic `results` + machine-dependent `timing`) to `PATH`.
+//!   (deterministic `results` + machine-dependent `timing`) to `PATH`;
+//! * `--trace PATH` — record the run under an `hc-obs` subscriber and
+//!   write the JSONL trace to `PATH`. Recording **never changes result
+//!   bytes** (CI asserts this); the trace's machine-dependent line is
+//!   the only part that varies across `--threads`.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -33,6 +37,9 @@ pub struct RunOpts {
     pub smoke: bool,
     /// Where to write the bench JSON, if anywhere.
     pub bench_json: Option<PathBuf>,
+    /// Where to write the `hc-obs` JSONL trace; `Some` also turns the
+    /// recording subscriber on for the grid run.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for RunOpts {
@@ -43,6 +50,7 @@ impl Default for RunOpts {
             reps: None,
             smoke: false,
             bench_json: None,
+            trace: None,
         }
     }
 }
@@ -55,7 +63,7 @@ pub fn default_threads() -> usize {
 }
 
 const USAGE: &str =
-    "usage: exp_* [SEED] [--seed N] [--threads N] [--reps N] [--smoke] [--bench-json PATH]";
+    "usage: exp_* [SEED] [--seed N] [--threads N] [--reps N] [--smoke] [--bench-json PATH] [--trace PATH]";
 
 impl RunOpts {
     /// Parses options from `std::env::args`, exiting with status 2 and a
@@ -74,6 +82,10 @@ impl RunOpts {
                 "--bench-json" => match args.next() {
                     Some(p) => opts.bench_json = Some(PathBuf::from(p)),
                     None => die(&format!("--bench-json requires a path\n{USAGE}")),
+                },
+                "--trace" => match args.next() {
+                    Some(p) => opts.trace = Some(PathBuf::from(p)),
+                    None => die(&format!("--trace requires a path\n{USAGE}")),
                 },
                 other if !positional_seed_taken && !other.starts_with('-') => match other.parse() {
                     Ok(s) => {
@@ -127,6 +139,7 @@ mod tests {
         assert!(!o.smoke);
         assert!(o.reps.is_none());
         assert!(o.bench_json.is_none());
+        assert!(o.trace.is_none());
     }
 
     #[test]

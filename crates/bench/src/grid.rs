@@ -104,6 +104,10 @@ pub struct GridOutcome<T> {
     pub cells: Vec<CellResults<T>>,
     /// Wall-clock measurements.
     pub timing: GridTiming,
+    /// The `hc-obs` trace recorded during the run (`Some` iff
+    /// `opts.trace` was set). Everything except its machine section is
+    /// byte-identical across `--threads` values.
+    pub trace: Option<hc_obs::Trace>,
 }
 
 /// Runs `cells × reps` independent tasks on the replication pool and
@@ -130,19 +134,42 @@ where
     let factory = RngFactory::new(opts.seed).child(experiment);
     let calibration_secs = calibrate();
     let started = Instant::now();
-    let raw = run_replications(total, opts.threads, |index| {
-        let cell = &cells[index / reps];
-        let rep = index % reps;
-        let task_factory = factory.indexed_child(&cell.id, rep as u64);
-        let ctx = TaskCtx {
-            rep,
-            seed: task_factory.master_seed(),
-            rng: task_factory.stream("task"),
-        };
-        let clock = Instant::now();
-        let data = job(&cell.config, ctx);
-        (data, clock.elapsed().as_secs_f64())
-    })?;
+    let run = || {
+        run_replications(total, opts.threads, |index| {
+            let cell = &cells[index / reps];
+            let rep = index % reps;
+            let task_factory = factory.indexed_child(&cell.id, rep as u64);
+            let ctx = TaskCtx {
+                rep,
+                seed: task_factory.master_seed(),
+                rng: task_factory.stream("task"),
+            };
+            let clock = Instant::now();
+            let data = job(&cell.config, ctx);
+            (data, clock.elapsed().as_secs_f64())
+        })
+    };
+    // `--trace` installs the recording scope around the whole grid; the
+    // replication pool nests one scope per task and merges them back in
+    // index order, so the records below are thread-count-invariant.
+    let (raw, trace) = if opts.trace.is_some() {
+        let (raw, trace) = hc_obs::record_scope(0, || {
+            hc_obs::event(
+                "bench",
+                "grid",
+                0,
+                &[
+                    ("experiment", experiment.into()),
+                    ("cells", cells.len().into()),
+                    ("reps", reps.into()),
+                ],
+            );
+            run()
+        });
+        (raw?, Some(trace))
+    } else {
+        (run()?, None)
+    };
     let total_wall_secs = started.elapsed().as_secs_f64();
 
     let mut tasks = Vec::with_capacity(total);
@@ -176,6 +203,7 @@ where
             total_wall_secs,
             tasks,
         },
+        trace,
     })
 }
 
@@ -240,6 +268,21 @@ impl<T: Serialize> GridOutcome<T> {
         }
         eprintln!("bench JSON written to {}", path.display());
     }
+
+    /// Writes the recorded JSONL trace to `opts.trace`, if both the flag
+    /// and a recorded trace exist. Exits with status 2 on IO failure
+    /// (same tool-crate semantics as [`GridOutcome::write_bench_json`]).
+    pub fn write_trace(&self, opts: &RunOpts) {
+        let (Some(path), Some(trace)) = (&opts.trace, &self.trace) else {
+            return;
+        };
+        let rendered = hc_obs::sink::jsonl::render(trace);
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("trace: write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("trace written to {}", path.display());
+    }
 }
 
 /// Measures a fixed single-threaded spin (~10⁷ LCG steps) as this
@@ -277,6 +320,7 @@ mod tests {
             reps: None,
             smoke: false,
             bench_json: None,
+            trace: None,
         }
     }
 
@@ -353,5 +397,29 @@ mod tests {
     #[test]
     fn calibration_is_positive() {
         assert!(calibrate() > 0.0);
+    }
+
+    #[test]
+    fn tracing_never_changes_results_and_is_thread_invariant() {
+        let traced = |threads: usize| {
+            let mut o = opts(threads);
+            o.trace = Some(std::path::PathBuf::from("unused.jsonl"));
+            o
+        };
+        let plain = run_grid(&opts(1), "demo", demo_cells(), 2, draw_job).expect("plain");
+        let t1 = run_grid(&traced(1), "demo", demo_cells(), 2, draw_job).expect("traced t1");
+        let t4 = run_grid(&traced(4), "demo", demo_cells(), 2, draw_job).expect("traced t4");
+        assert!(plain.trace.is_none());
+        // Recording must not perturb the deterministic results…
+        assert_eq!(
+            plain.to_bench_json().expect("json").get("results"),
+            t1.to_bench_json().expect("json").get("results"),
+        );
+        // …and the deterministic part of the trace must not depend on
+        // the thread count (only the machine line may differ).
+        let r1 = hc_obs::sink::jsonl::render_deterministic(t1.trace.as_ref().expect("trace"));
+        let r4 = hc_obs::sink::jsonl::render_deterministic(t4.trace.as_ref().expect("trace"));
+        assert_eq!(r1, r4);
+        assert!(!r1.is_empty());
     }
 }

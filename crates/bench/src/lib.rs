@@ -17,8 +17,10 @@
 //!
 //! Grid-based experiments additionally accept `--threads N` (parallel
 //! replication pool; output bytes never change, see [`grid`]), `--reps`,
-//! `--smoke`, and `--bench-json PATH`; the `hc-bench` binary compares
-//! two bench JSONs for determinism or performance.
+//! `--smoke`, `--bench-json PATH`, and `--trace PATH` (record an
+//! `hc-obs` trace of the run); the `hc-bench` binary compares two bench
+//! JSONs for determinism or performance and summarizes or converts
+//! recorded traces (see [`trace`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@
 pub mod cli;
 pub mod compare;
 pub mod grid;
+pub mod trace;
 
 pub use cli::RunOpts;
 pub use grid::{run_grid, Cell, GridOutcome, TaskCtx};

@@ -58,8 +58,17 @@ impl DigitizationPipeline {
 
     /// Processes up to `n` responses (stops early when the corpus
     /// resolves). Returns the number actually processed.
+    ///
+    /// Under an `hc-obs` recording scope each call emits one batch of
+    /// `captcha.*` counters (answers / passes / bot shares / words newly
+    /// digitized) — batched per call, not per response, to keep traces
+    /// bounded on million-answer runs.
     pub fn run<R: Rng + ?Sized>(&mut self, n: u64, rng: &mut R) -> u64 {
+        let tracing = hc_obs::active();
         let mut processed = 0;
+        let mut passed = 0u64;
+        let mut bot_answers = 0u64;
+        let mut digitized = 0u64;
         for _ in 0..n {
             let Some(ch) = self.service.issue(rng) else {
                 break;
@@ -82,8 +91,19 @@ impl DigitizationPipeline {
             self.answers += 1;
             if resp.passed {
                 self.passes += 1;
+                passed += 1;
+            }
+            if tracing {
+                bot_answers += u64::from(is_bot);
+                digitized += u64::from(resp.digitized);
             }
             processed += 1;
+        }
+        if tracing && processed > 0 {
+            hc_obs::counter_now("captcha.answers", processed);
+            hc_obs::counter_now("captcha.passes", passed);
+            hc_obs::counter_now("captcha.bot_answers", bot_answers);
+            hc_obs::counter_now("captcha.digitized", digitized);
         }
         processed
     }

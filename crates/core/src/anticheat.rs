@@ -202,6 +202,11 @@ impl CheatDetector {
         let low_entropy = answer_total >= self.min_evidence
             && answer_entropy.is_some_and(|h| h < self.min_entropy_bits);
 
+        if (pair_anomaly || low_entropy) && hc_obs::active() {
+            // Counts *assessments that fired*, one per `assess` call —
+            // observed only, never read back by the detector.
+            hc_obs::counter_now("core.cheat_flags", 1);
+        }
         CheatAssessment {
             player,
             max_pair_share,

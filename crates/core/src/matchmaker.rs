@@ -157,6 +157,20 @@ impl Matchmaker {
         self.last_partner.insert(player, partner);
         self.last_partner.insert(partner, player);
         self.stats.live_pairs += 1;
+        if hc_obs::active() {
+            hc_obs::counter("core.pairs_live", now.ticks(), 1);
+            hc_obs::observe("core.pair_wait_secs", now.ticks(), waited.as_secs_f64());
+            hc_obs::event(
+                "core",
+                "pair",
+                now.ticks(),
+                &[
+                    ("player", u64::from(player).into()),
+                    ("partner", u64::from(partner).into()),
+                    ("waited_us", waited.ticks().into()),
+                ],
+            );
+        }
         MatchDecision::Paired { partner, waited }
     }
 
@@ -166,11 +180,25 @@ impl Matchmaker {
         let threshold = self.config.bot_fallback_wait;
         let mut timed_out = Vec::new();
         let mut kept = Vec::new();
+        let tracing = hc_obs::active();
         for (entered, player) in self.waiting.drain(..) {
             if now.saturating_since(entered) >= threshold {
-                self.wait_stats
-                    .push(now.saturating_since(entered).as_secs_f64());
+                let waited = now.saturating_since(entered);
+                self.wait_stats.push(waited.as_secs_f64());
                 self.stats.replay_pairs += 1;
+                if tracing {
+                    hc_obs::counter("core.pairs_replay", now.ticks(), 1);
+                    hc_obs::observe("core.pair_wait_secs", now.ticks(), waited.as_secs_f64());
+                    hc_obs::event(
+                        "core",
+                        "replay_fallback",
+                        now.ticks(),
+                        &[
+                            ("player", u64::from(player).into()),
+                            ("waited_us", waited.ticks().into()),
+                        ],
+                    );
+                }
                 timed_out.push(player);
             } else {
                 kept.push((entered, player));

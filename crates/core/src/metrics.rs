@@ -84,13 +84,28 @@ impl ContributionLedger {
     }
 
     /// Adds play time for one player (call once per session per player).
+    ///
+    /// Under an `hc-obs` recording scope this also emits the
+    /// `metrics.play_us` / `metrics.players` counters, so `trace
+    /// summary` can report throughput and ALP live; the counters mirror
+    /// the ledger exactly (see the `obs_metrics` regression test).
     pub fn record_play(&mut self, player: PlayerId, time: SimDuration) {
+        if hc_obs::active() {
+            if !self.play_time.contains_key(&player) {
+                hc_obs::counter_now("metrics.players", 1);
+            }
+            hc_obs::counter_now("metrics.play_us", time.ticks());
+        }
         let entry = self.play_time.entry(player).or_insert(SimDuration::ZERO);
         *entry += time;
     }
 
-    /// Adds `n` verified outputs.
+    /// Adds `n` verified outputs (mirrored to the `metrics.outputs`
+    /// counter under a recording scope).
     pub fn record_outputs(&mut self, n: u64) {
+        if hc_obs::active() {
+            hc_obs::counter_now("metrics.outputs", n);
+        }
         self.total_outputs += n;
     }
 
@@ -145,9 +160,14 @@ impl ContributionLedger {
     }
 
     /// Merges another ledger into this one (per-player times add).
+    ///
+    /// Deliberately does *not* re-emit `hc-obs` counters: the other
+    /// ledger's `record_play`/`record_outputs` calls already emitted
+    /// them when they happened, so merging must not double-count.
     pub fn merge(&mut self, other: &ContributionLedger) {
         for (p, d) in &other.play_time {
-            self.record_play(*p, *d);
+            let entry = self.play_time.entry(*p).or_insert(SimDuration::ZERO);
+            *entry += *d;
         }
         self.total_outputs += other.total_outputs;
     }

@@ -250,19 +250,49 @@ impl Platform {
         if self.tasks.get(task).is_none() {
             return Err(Error::UnknownTask(task));
         }
+        let tracing = hc_obs::active();
+        // Under tracing, watch the gold-trust gate for quarantine
+        // transitions (a trusted player becoming distrusted). Observed
+        // only — the pipeline's control flow never reads these.
+        let trusted_before = if tracing {
+            (self.gold.is_trusted(a), self.gold.is_trusted(b))
+        } else {
+            (true, true)
+        };
         // Gold checking: both players answered this label on a gold task.
         self.gold.check(a, task, &label);
         self.gold.check(b, task, &label);
         // Spam detector sees every agreed answer.
         self.cheat.record_answer(a, &label);
         self.cheat.record_answer(b, &label);
+        if tracing {
+            let now = self.last_event_time.ticks();
+            hc_obs::counter("core.agreements", now, 1);
+            for (player, was_trusted) in [(a, trusted_before.0), (b, trusted_before.1)] {
+                if was_trusted && !self.gold.is_trusted(player) {
+                    hc_obs::counter("core.quarantines", now, 1);
+                    hc_obs::event(
+                        "core",
+                        "quarantine",
+                        now,
+                        &[("player", u64::from(player).into())],
+                    );
+                }
+            }
+        }
         // Gold tasks never produce verified labels — they are instruments.
         if self.gold.is_gold(task) {
+            if tracing {
+                hc_obs::counter("core.gold_checks", self.last_event_time.ticks(), 1);
+            }
             return Ok(false);
         }
         // Trust gating.
         if !self.gold.is_trusted(a) || !self.gold.is_trusted(b) {
             self.rejected_agreements += 1;
+            if tracing {
+                hc_obs::counter("core.rejected_agreements", self.last_event_time.ticks(), 1);
+            }
             return Ok(false);
         }
         let promoted = self.agreement.record(task, label.clone(), a, b);
@@ -274,6 +304,9 @@ impl Platform {
                 .record_verified(task, self.config.task_completion_threshold);
             self.ledger.record_outputs(1);
             self.jobs.credit_output(task, self.last_event_time);
+            if tracing {
+                hc_obs::counter("core.promotions", self.last_event_time.ticks(), 1);
+            }
             self.verified.push(VerifiedLabel {
                 task,
                 label,
@@ -290,6 +323,24 @@ impl Platform {
     pub fn record_session(&mut self, transcript: &SessionTranscript) {
         let [a, b] = transcript.players;
         let dur = transcript.duration();
+        if hc_obs::active() {
+            let [points_a, points_b] = transcript.total_points;
+            hc_obs::span(
+                "core",
+                "session",
+                transcript.started.ticks(),
+                transcript.ended.ticks(),
+                &[
+                    ("session", u64::from(transcript.id).into()),
+                    ("a", u64::from(a).into()),
+                    ("b", u64::from(b).into()),
+                    ("rounds", transcript.rounds().into()),
+                    ("matched", transcript.matched_count().into()),
+                    ("points", (points_a + points_b).into()),
+                ],
+            );
+            hc_obs::counter("core.sessions", transcript.ended.ticks(), 1);
+        }
         self.ledger.record_play(a, dur);
         self.ledger.record_play(b, dur);
         self.cheat.record_pairing(a, b);

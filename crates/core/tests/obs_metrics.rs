@@ -1,0 +1,82 @@
+//! Regression: the `hc-obs` counters the [`ContributionLedger`] mirrors
+//! into a trace must equal the ledger's own totals exactly, so
+//! `hc-bench trace summary` can report throughput and ALP live without
+//! re-running the experiment.
+
+use hc_core::{ContributionLedger, PlayerId};
+use hc_sim::SimDuration;
+
+#[test]
+fn ledger_totals_equal_trace_counters() {
+    let mut expected_play_ticks = 0u64;
+    let (ledger, trace) = hc_obs::record_scope(0, || {
+        let mut ledger = ContributionLedger::new();
+        for i in 0..10u64 {
+            let time = SimDuration::from_mins(10 + i);
+            expected_play_ticks += time.ticks();
+            ledger.record_play(PlayerId::new(i % 4), time);
+        }
+        ledger.record_outputs(123);
+        ledger.record_outputs(77);
+        ledger
+    });
+    assert_eq!(
+        trace.metrics.counter("metrics.outputs"),
+        ledger.total_outputs()
+    );
+    assert_eq!(
+        trace.metrics.counter("metrics.players"),
+        ledger.player_count()
+    );
+    assert_eq!(
+        trace.metrics.counter("metrics.play_us"),
+        expected_play_ticks
+    );
+    // Human-hours derived from the counter match the ledger's own sum.
+    let hours_from_counter = trace.metrics.counter("metrics.play_us") as f64 / 3_600_000_000.0;
+    assert!((hours_from_counter - ledger.total_human_hours()).abs() < 1e-9);
+}
+
+#[test]
+fn merging_ledgers_does_not_double_count() {
+    let ((merged, standalone), trace) = hc_obs::record_scope(0, || {
+        let mut a = ContributionLedger::new();
+        a.record_play(PlayerId::new(1), SimDuration::from_mins(30));
+        a.record_outputs(5);
+        let mut b = ContributionLedger::new();
+        b.record_play(PlayerId::new(1), SimDuration::from_mins(30));
+        b.record_play(PlayerId::new(2), SimDuration::from_mins(60));
+        b.record_outputs(7);
+        let standalone = b.clone();
+        a.merge(&b);
+        (a, standalone)
+    });
+    // Every record_play/record_outputs call was counted exactly once;
+    // merge() itself emitted nothing.
+    assert_eq!(
+        trace.metrics.counter("metrics.outputs"),
+        merged.total_outputs()
+    );
+    assert_eq!(
+        trace.metrics.counter("metrics.play_us"),
+        SimDuration::from_mins(120).ticks()
+    );
+    // `metrics.players` counts first-sightings per ledger (player 1 was
+    // new to both), which is why the counter is compared against the
+    // per-ledger sum, not the merged ledger's distinct-player count.
+    assert_eq!(trace.metrics.counter("metrics.players"), 3);
+    assert_eq!(merged.player_count(), 2);
+    assert_eq!(standalone.player_count(), 2);
+}
+
+#[test]
+fn no_counters_without_a_recording_scope() {
+    // Emitting outside a scope is a no-op; a later scope must start empty.
+    let mut outside = ContributionLedger::new();
+    outside.record_play(PlayerId::new(9), SimDuration::from_mins(5));
+    outside.record_outputs(42);
+    let (_, trace) = hc_obs::record_scope(0, || {});
+    assert_eq!(trace.metrics.counter("metrics.outputs"), 0);
+    assert_eq!(trace.metrics.counter("metrics.play_us"), 0);
+    assert!(trace.records.is_empty());
+}

@@ -87,6 +87,9 @@ impl EngagementModel {
         let session_lengths = (0..sessions)
             .map(|_| SimDuration::from_secs_f64(session_dist.sample(rng) * 60.0))
             .collect();
+        if hc_obs::active() {
+            hc_obs::counter_now("crowd.lifetimes_sampled", 1);
+        }
         LifetimePlan { session_lengths }
     }
 }

@@ -250,6 +250,18 @@ pub fn play_esp_session<R: Rng + ?Sized>(
 
     let transcript = session.finish(now);
     platform.record_session(&transcript);
+    if hc_obs::active() {
+        hc_obs::span(
+            "games",
+            "esp.session",
+            start.ticks(),
+            transcript.ended.ticks(),
+            &[
+                ("rounds", transcript.rounds().into()),
+                ("matched", transcript.matched_count().into()),
+            ],
+        );
+    }
     transcript
 }
 
@@ -390,6 +402,18 @@ pub fn play_esp_replay_session<R: Rng + ?Sized>(
     // to its own ledger, and the seen-task set clears here.
     let transcript = session.finish(now);
     platform.tasks_clear_seen(player);
+    if hc_obs::active() {
+        hc_obs::span(
+            "games",
+            "esp.replay_session",
+            start.ticks(),
+            transcript.ended.ticks(),
+            &[
+                ("rounds", transcript.rounds().into()),
+                ("matched", transcript.matched_count().into()),
+            ],
+        );
+    }
     transcript
 }
 
@@ -558,17 +582,52 @@ impl EspCampaign {
             CampaignEvent::Sweep,
         );
 
+        // Captured once: the campaign loop must not change shape when a
+        // recording subscriber appears mid-run on another layer.
+        let tracing = hc_obs::active();
+        let mut arrivals = 0u64;
+        let mut sweeps = 0u64;
+        let mut queue_high_water = 0usize;
+        let mut last_now = SimTime::ZERO;
+
         while let Some((now, ev)) = queue.pop() {
             if now > self.config.horizon {
                 break;
             }
             match ev {
-                CampaignEvent::Arrival(p) => self.handle_arrival(&mut queue, now, p),
+                CampaignEvent::Arrival(p) => {
+                    self.handle_arrival(&mut queue, now, p);
+                    arrivals += 1;
+                }
                 CampaignEvent::Sweep => {
                     self.handle_sweep(&mut queue, now);
                     queue.push(now + self.config.sweep_interval, CampaignEvent::Sweep);
+                    sweeps += 1;
                 }
             }
+            if tracing {
+                queue_high_water = queue_high_water.max(queue.len());
+                last_now = now;
+            }
+        }
+        if tracing {
+            hc_obs::counter("games.arrivals", last_now.ticks(), arrivals);
+            hc_obs::counter("games.sweeps", last_now.ticks(), sweeps);
+            hc_obs::gauge(
+                "games.queue_high_water",
+                last_now.ticks(),
+                queue_high_water as f64,
+            );
+            hc_obs::span(
+                "games",
+                "esp.campaign",
+                0,
+                last_now.ticks(),
+                &[
+                    ("live_sessions", self.live_sessions.into()),
+                    ("replay_sessions", self.replay_sessions.into()),
+                ],
+            );
         }
         self.report()
     }

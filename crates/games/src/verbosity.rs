@@ -353,6 +353,18 @@ pub fn play_verbosity_session<R: Rng + ?Sized>(
 
     let transcript = session.finish(now);
     platform.record_session(&transcript);
+    if hc_obs::active() {
+        hc_obs::span(
+            "games",
+            "verbosity.session",
+            start.ticks(),
+            transcript.ended.ticks(),
+            &[
+                ("rounds", transcript.rounds().into()),
+                ("matched", transcript.matched_count().into()),
+            ],
+        );
+    }
     transcript
 }
 

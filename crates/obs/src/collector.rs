@@ -1,0 +1,326 @@
+//! The thread-local recording scope and the emit API.
+//!
+//! There is deliberately no global subscriber: a global sink behind a
+//! lock would interleave records nondeterministically under the
+//! parallel replication pool. Instead, each thread carries a *stack* of
+//! collectors. [`record_scope`] pushes one, runs a closure, and pops it
+//! back off together with everything the closure emitted; the caller
+//! decides how child traces compose (the replication pool merges them
+//! **in index order** via [`merge_trace`], which is what keeps traces
+//! byte-identical at any `--threads` value).
+//!
+//! With no collector installed every emit function is a no-op that
+//! returns before allocating, so uninstrumented runs pay one
+//! thread-local read per call site — and call sites on hot paths guard
+//! with [`active`] so even field construction is skipped.
+
+use crate::metrics::MetricsRegistry;
+use crate::record::{fields_from, FieldValue, Record, RecordData};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Everything one recording scope observed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Records in emission order (children merged in index order).
+    pub records: Vec<Record>,
+    /// Registry folded over the records as they were emitted.
+    pub metrics: MetricsRegistry,
+    /// Machine-dependent stats (worker/steal counts, …). Excluded from
+    /// determinism comparisons; values sum when traces merge.
+    pub machine: BTreeMap<String, f64>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Latest sim-time covered by any record (0 when empty).
+    #[must_use]
+    pub fn max_t_us(&self) -> u64 {
+        self.records.iter().map(Record::end_us).max().unwrap_or(0)
+    }
+}
+
+#[derive(Debug)]
+struct Collector {
+    track: u32,
+    /// High-water sim-time over everything seen so far — the timestamp
+    /// hint used by [`counter_now`] for emitters that have no clock in
+    /// scope (e.g. the contribution ledger).
+    clock_us: u64,
+    trace: Trace,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Collector>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True when a recording scope is active on this thread. Hot paths
+/// check this once and skip field construction entirely when recording
+/// is off, keeping the no-subscriber cost to one thread-local read.
+#[must_use]
+pub fn active() -> bool {
+    STACK.with(|s| !s.borrow().is_empty())
+}
+
+fn with_top<F: FnOnce(&mut Collector)>(f: F) {
+    STACK.with(|s| {
+        if let Some(top) = s.borrow_mut().last_mut() {
+            f(top);
+        }
+    });
+}
+
+/// Pops the collector this scope pushed even if the closure panics, so
+/// a panicking replication cannot poison later scopes on a pooled
+/// worker thread.
+struct ScopeGuard;
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with a fresh collector installed on this thread and returns
+/// its result together with everything it emitted.
+///
+/// `track` labels the records (0 for a top-level scope, `index + 1` for
+/// parallel replication tasks). Scopes nest: an inner scope shadows the
+/// outer one until it closes, and the caller chooses whether to
+/// [`merge_trace`] the child back in.
+pub fn record_scope<T>(track: u32, f: impl FnOnce() -> T) -> (T, Trace) {
+    STACK.with(|s| {
+        s.borrow_mut().push(Collector {
+            track,
+            clock_us: 0,
+            trace: Trace::new(),
+        });
+    });
+    let guard = ScopeGuard;
+    let out = f();
+    std::mem::forget(guard);
+    let trace = STACK
+        .with(|s| s.borrow_mut().pop())
+        .map(|c| c.trace)
+        .unwrap_or_default();
+    (out, trace)
+}
+
+fn push(t_us: u64, data: RecordData) {
+    with_top(|top| {
+        let record = Record {
+            track: top.track,
+            t_us,
+            data,
+        };
+        top.clock_us = top.clock_us.max(record.end_us());
+        top.trace.metrics.apply(&record);
+        top.trace.records.push(record);
+    });
+}
+
+/// Records a completed sim-time span `[start_us, end_us]`.
+pub fn span(target: &str, name: &str, start_us: u64, end_us: u64, fields: &[(&str, FieldValue)]) {
+    if !active() {
+        return;
+    }
+    push(
+        start_us,
+        RecordData::Span {
+            target: target.to_string(),
+            name: name.to_string(),
+            dur_us: end_us.saturating_sub(start_us),
+            fields: fields_from(fields),
+        },
+    );
+}
+
+/// Records an instantaneous structured event at sim-time `t_us`.
+pub fn event(target: &str, name: &str, t_us: u64, fields: &[(&str, FieldValue)]) {
+    if !active() {
+        return;
+    }
+    push(
+        t_us,
+        RecordData::Event {
+            target: target.to_string(),
+            name: name.to_string(),
+            fields: fields_from(fields),
+        },
+    );
+}
+
+/// Increments a counter at sim-time `t_us`.
+pub fn counter(name: &str, t_us: u64, delta: u64) {
+    if !active() {
+        return;
+    }
+    push(
+        t_us,
+        RecordData::Counter {
+            name: name.to_string(),
+            delta,
+        },
+    );
+}
+
+/// Increments a counter at the collector's current sim-time high-water
+/// mark — for emitters (like the contribution ledger) that have no
+/// clock in scope. The hint is itself derived from recorded sim-times,
+/// so it stays deterministic.
+pub fn counter_now(name: &str, delta: u64) {
+    with_top(|top| {
+        let record = Record {
+            track: top.track,
+            t_us: top.clock_us,
+            data: RecordData::Counter {
+                name: name.to_string(),
+                delta,
+            },
+        };
+        top.trace.metrics.apply(&record);
+        top.trace.records.push(record);
+    });
+}
+
+/// Records a gauge level at sim-time `t_us`.
+pub fn gauge(name: &str, t_us: u64, value: f64) {
+    if !active() {
+        return;
+    }
+    push(
+        t_us,
+        RecordData::Gauge {
+            name: name.to_string(),
+            value,
+        },
+    );
+}
+
+/// Records one histogram sample at sim-time `t_us`.
+pub fn observe(name: &str, t_us: u64, value: f64) {
+    if !active() {
+        return;
+    }
+    push(
+        t_us,
+        RecordData::Observe {
+            name: name.to_string(),
+            value,
+        },
+    );
+}
+
+/// Adds to a machine-dependent stat (summing across merges). These live
+/// outside the deterministic sections — thread counts, steal counts and
+/// the like belong here, never in records or metrics.
+pub fn machine_stat(name: &str, value: f64) {
+    with_top(|top| {
+        *top.trace.machine.entry(name.to_string()).or_insert(0.0) += value;
+    });
+}
+
+/// Merges a child scope's trace into the current collector: records
+/// append (preserving their tracks), metrics merge, machine stats sum.
+/// Callers must merge children **in index order** for determinism.
+pub fn merge_trace(child: Trace) {
+    with_top(|top| {
+        top.clock_us = top.clock_us.max(child.max_t_us());
+        top.trace.metrics.merge(&child.metrics);
+        for (k, v) in child.machine {
+            *top.trace.machine.entry(k).or_insert(0.0) += v;
+        }
+        top.trace.records.extend(child.records);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_are_noops_without_a_scope() {
+        assert!(!active());
+        span("t", "s", 0, 10, &[]);
+        counter("c", 0, 1);
+        // Nothing to assert directly — the test passes by not leaking
+        // state into the next scope:
+        let ((), trace) = record_scope(0, || {});
+        assert!(trace.records.is_empty());
+        assert!(trace.metrics.is_empty());
+    }
+
+    #[test]
+    fn a_scope_captures_everything_emitted_inside_it() {
+        let (sum, trace) = record_scope(0, || {
+            event("demo", "start", 5, &[("n", 2u64.into())]);
+            counter("demo.count", 10, 3);
+            gauge("demo.level", 20, 1.5);
+            observe("demo.sample", 30, 2.5);
+            span("demo", "work", 0, 40, &[]);
+            1 + 1
+        });
+        assert_eq!(sum, 2);
+        assert_eq!(trace.records.len(), 5);
+        assert_eq!(trace.metrics.counter("demo.count"), 3);
+        assert_eq!(trace.max_t_us(), 40);
+        assert!(!active());
+    }
+
+    #[test]
+    fn counter_now_uses_the_sim_time_high_water_mark() {
+        let ((), trace) = record_scope(0, || {
+            event("demo", "tick", 1234, &[]);
+            counter_now("demo.count", 1);
+        });
+        let last = trace.records.last().expect("record present");
+        assert_eq!(last.t_us, 1234);
+    }
+
+    #[test]
+    fn nested_scopes_shadow_and_merge_explicitly() {
+        let ((), outer) = record_scope(0, || {
+            event("outer", "a", 1, &[]);
+            let ((), inner) = record_scope(7, || {
+                event("inner", "b", 2, &[]);
+            });
+            assert_eq!(inner.records.len(), 1);
+            merge_trace(inner);
+            event("outer", "c", 3, &[]);
+        });
+        assert_eq!(outer.records.len(), 3);
+        let tracks: Vec<u32> = outer.records.iter().map(|r| r.track).collect();
+        assert_eq!(tracks, vec![0, 7, 0]);
+    }
+
+    #[test]
+    fn a_panicking_scope_does_not_poison_the_thread() {
+        let caught = std::panic::catch_unwind(|| {
+            record_scope(0, || {
+                event("demo", "pre", 1, &[]);
+                panic!("rigged");
+            })
+        });
+        assert!(caught.is_err());
+        assert!(!active(), "guard must pop the collector on unwind");
+        let ((), trace) = record_scope(0, || event("demo", "ok", 1, &[]));
+        assert_eq!(trace.records.len(), 1);
+    }
+
+    #[test]
+    fn machine_stats_sum_across_merges() {
+        let ((), trace) = record_scope(0, || {
+            machine_stat("steals", 2.0);
+            let ((), child) = record_scope(1, || machine_stat("steals", 3.0));
+            merge_trace(child);
+        });
+        assert_eq!(trace.machine.get("steals").copied(), Some(5.0));
+    }
+}

@@ -1,0 +1,48 @@
+//! # hc-obs — deterministic sim-time observability
+//!
+//! Spans, structured events and a metrics registry for the
+//! human-computation workspace, keyed on **sim-time** (microsecond
+//! ticks), never wall-clock — so the layer itself satisfies the D1
+//! determinism rule and a recorded trace is a pure function of the
+//! simulation seed.
+//!
+//! ## Model
+//!
+//! * Instrumented code *emits* — [`span`], [`event`], [`counter`],
+//!   [`gauge`], [`observe`] — and never reads anything back: events are
+//!   observed, never consulted, so recording cannot perturb results.
+//! * A *recording scope* ([`record_scope`]) installs a collector on the
+//!   **current thread**; without one every emit call is a no-op that
+//!   returns before allocating. Call sites on hot paths additionally
+//!   guard with [`active`] so field construction is skipped too.
+//! * Scopes nest (a thread-local stack) and compose across threads: the
+//!   parallel replication pool runs each task inside its own scope and
+//!   merges the per-task traces back **in index order** via
+//!   [`merge_trace`], so the merged trace is byte-identical at any
+//!   `--threads` value.
+//! * Machine-dependent facts (worker counts, steal counts, wall time)
+//!   go through [`machine_stat`] into a separate section that
+//!   determinism comparisons exclude.
+//!
+//! ## Sinks
+//!
+//! [`sink::jsonl`] renders/parses the line-oriented trace format (the
+//! machine section is the final line, so deterministic comparisons drop
+//! it trivially); [`sink::chrome`] converts a trace to Chrome
+//! trace-event JSON loadable in Perfetto / `chrome://tracing`, mapping
+//! sim-time microseconds directly onto the `ts` axis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod metrics;
+pub mod record;
+pub mod sink;
+
+pub use collector::{
+    active, counter, counter_now, event, gauge, machine_stat, merge_trace, observe, record_scope,
+    span, Trace,
+};
+pub use metrics::{GaugeStat, HistStat, MetricsRegistry};
+pub use record::{fields_from, FieldValue, Fields, Record, RecordData};

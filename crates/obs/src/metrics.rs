@@ -1,0 +1,271 @@
+//! Metrics registry: counters, gauges and histograms with ordered,
+//! serializable snapshots.
+//!
+//! The registry is a *view* over the records a collector has seen — it
+//! is updated incrementally as records are emitted and merged in index
+//! order, so for a given seed it is identical at any thread count. All
+//! maps are `BTreeMap`, so iteration (and therefore serialization)
+//! order is stable.
+
+use crate::record::{Record, RecordData};
+use std::collections::BTreeMap;
+
+/// Summary of a gauge's observed levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStat {
+    /// Most recently observed level (in record/merge order).
+    pub last: f64,
+    /// Minimum observed level.
+    pub min: f64,
+    /// Maximum observed level.
+    pub max: f64,
+}
+
+/// Summary of a histogram's samples (count/sum/min/max — enough for
+/// mean and range without storing every sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistStat {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl HistStat {
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Ordered registry of counters, gauges and histograms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, GaugeStat>,
+    histograms: BTreeMap<String, HistStat>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds one record into the registry (spans and events are pure
+    /// trace data and leave the registry untouched).
+    pub fn apply(&mut self, record: &Record) {
+        match &record.data {
+            RecordData::Counter { name, delta } => {
+                let slot = self.counters.entry(name.clone()).or_insert(0);
+                *slot = slot.saturating_add(*delta);
+            }
+            RecordData::Gauge { name, value } => {
+                self.gauges
+                    .entry(name.clone())
+                    .and_modify(|g| {
+                        g.last = *value;
+                        g.min = g.min.min(*value);
+                        g.max = g.max.max(*value);
+                    })
+                    .or_insert(GaugeStat {
+                        last: *value,
+                        min: *value,
+                        max: *value,
+                    });
+            }
+            RecordData::Observe { name, value } => {
+                self.histograms
+                    .entry(name.clone())
+                    .and_modify(|h| {
+                        h.count += 1;
+                        h.sum += *value;
+                        h.min = h.min.min(*value);
+                        h.max = h.max.max(*value);
+                    })
+                    .or_insert(HistStat {
+                        count: 1,
+                        sum: *value,
+                        min: *value,
+                        max: *value,
+                    });
+            }
+            RecordData::Span { .. } | RecordData::Event { .. } => {}
+        }
+    }
+
+    /// Merges another registry into this one. Counters and histogram
+    /// sums add; for gauges the *other* registry's `last` wins — merges
+    /// happen in replication-index order, so this is deterministic.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, delta) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*delta);
+        }
+        for (name, g) in &other.gauges {
+            self.gauges
+                .entry(name.clone())
+                .and_modify(|mine| {
+                    mine.last = g.last;
+                    mine.min = mine.min.min(g.min);
+                    mine.max = mine.max.max(g.max);
+                })
+                .or_insert(*g);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .and_modify(|mine| {
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    mine.min = mine.min.min(h.min);
+                    mine.max = mine.max.max(h.max);
+                })
+                .or_insert(*h);
+        }
+    }
+
+    /// Current counter totals, name-ordered.
+    #[must_use]
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Current gauge summaries, name-ordered.
+    #[must_use]
+    pub fn gauges(&self) -> &BTreeMap<String, GaugeStat> {
+        &self.gauges
+    }
+
+    /// Current histogram summaries, name-ordered.
+    #[must_use]
+    pub fn histograms(&self) -> &BTreeMap<String, HistStat> {
+        &self.histograms
+    }
+
+    /// Total for one counter (0 when never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a counter total directly (sink parsing only).
+    pub fn set_counter(&mut self, name: impl Into<String>, total: u64) {
+        self.counters.insert(name.into(), total);
+    }
+
+    /// Sets a gauge summary directly (sink parsing only).
+    pub fn set_gauge(&mut self, name: impl Into<String>, stat: GaugeStat) {
+        self.gauges.insert(name.into(), stat);
+    }
+
+    /// Sets a histogram summary directly (sink parsing only).
+    pub fn set_histogram(&mut self, name: impl Into<String>, stat: HistStat) {
+        self.histograms.insert(name.into(), stat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordData;
+
+    fn rec(data: RecordData) -> Record {
+        Record {
+            track: 0,
+            t_us: 0,
+            data,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.apply(&rec(RecordData::Counter {
+            name: "c".to_string(),
+            delta: 2,
+        }));
+        m.apply(&rec(RecordData::Counter {
+            name: "c".to_string(),
+            delta: 3,
+        }));
+        assert_eq!(m.counter("c"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_track_last_min_max() {
+        let mut m = MetricsRegistry::new();
+        for v in [3.0, 1.0, 2.0] {
+            m.apply(&rec(RecordData::Gauge {
+                name: "g".to_string(),
+                value: v,
+            }));
+        }
+        let g = m.gauges().get("g").copied().expect("gauge present");
+        assert_eq!(g.last, 2.0);
+        assert_eq!(g.min, 1.0);
+        assert_eq!(g.max, 3.0);
+    }
+
+    #[test]
+    fn histograms_summarize_samples() {
+        let mut m = MetricsRegistry::new();
+        for v in [1.0, 5.0, 3.0] {
+            m.apply(&rec(RecordData::Observe {
+                name: "h".to_string(),
+                value: v,
+            }));
+        }
+        let h = m.histograms().get("h").copied().expect("hist present");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 9.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 5.0);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_combines_ranges() {
+        let mut a = MetricsRegistry::new();
+        a.apply(&rec(RecordData::Counter {
+            name: "c".to_string(),
+            delta: 2,
+        }));
+        a.apply(&rec(RecordData::Gauge {
+            name: "g".to_string(),
+            value: 4.0,
+        }));
+        let mut b = MetricsRegistry::new();
+        b.apply(&rec(RecordData::Counter {
+            name: "c".to_string(),
+            delta: 5,
+        }));
+        b.apply(&rec(RecordData::Gauge {
+            name: "g".to_string(),
+            value: 1.0,
+        }));
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 7);
+        let g = a.gauges().get("g").copied().expect("gauge present");
+        assert_eq!(g.last, 1.0);
+        assert_eq!(g.min, 1.0);
+        assert_eq!(g.max, 4.0);
+    }
+}

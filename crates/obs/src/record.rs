@@ -1,0 +1,195 @@
+//! Trace records — the unit of observation.
+//!
+//! Every record carries a `track` (which logical lane it belongs to:
+//! `0` for the recording scope itself, `index + 1` for parallel
+//! replication tasks) and a sim-time timestamp in microsecond ticks.
+//! Fields are a `BTreeMap`, so serialized records have a stable key
+//! order and traces compare byte-for-byte.
+
+use std::collections::BTreeMap;
+
+/// A single structured field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer (counts, ids, tick values).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point measurement.
+    F64(f64),
+    /// Short string label.
+    Str(String),
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Ordered field map; `BTreeMap` keeps serialization deterministic.
+pub type Fields = BTreeMap<String, FieldValue>;
+
+/// Builds a [`Fields`] map from a slice of `(key, value)` pairs.
+#[must_use]
+pub fn fields_from(pairs: &[(&str, FieldValue)]) -> Fields {
+    pairs
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), v.clone()))
+        .collect()
+}
+
+/// One observation in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Logical track: `0` for the recording scope itself, `index + 1`
+    /// for parallel replication tasks. Maps to `tid` in Chrome traces.
+    pub track: u32,
+    /// Sim-time microsecond timestamp (span *start* for spans).
+    pub t_us: u64,
+    /// What was observed.
+    pub data: RecordData,
+}
+
+/// The observation payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordData {
+    /// A completed sim-time span (recorded at close, so no guard object
+    /// or wall clock is ever involved).
+    Span {
+        /// Subsystem that emitted the span (`sim`, `core`, `games`, …).
+        target: String,
+        /// Span name within the target.
+        name: String,
+        /// Sim-time duration in microsecond ticks.
+        dur_us: u64,
+        /// Structured fields.
+        fields: Fields,
+    },
+    /// An instantaneous structured event.
+    Event {
+        /// Subsystem that emitted the event.
+        target: String,
+        /// Event name within the target.
+        name: String,
+        /// Structured fields.
+        fields: Fields,
+    },
+    /// A monotone counter increment.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Amount added.
+        delta: u64,
+    },
+    /// A point-in-time gauge level.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Observed level.
+        value: f64,
+    },
+    /// One histogram sample.
+    Observe {
+        /// Histogram name.
+        name: String,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+impl Record {
+    /// The record's end time: `start + duration` for spans, the
+    /// timestamp itself for everything else.
+    #[must_use]
+    pub fn end_us(&self) -> u64 {
+        match &self.data {
+            RecordData::Span { dur_us, .. } => self.t_us.saturating_add(*dur_us),
+            _ => self.t_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_end_is_start_plus_duration() {
+        let r = Record {
+            track: 0,
+            t_us: 10,
+            data: RecordData::Span {
+                target: "t".to_string(),
+                name: "n".to_string(),
+                dur_us: 5,
+                fields: Fields::new(),
+            },
+        };
+        assert_eq!(r.end_us(), 15);
+    }
+
+    #[test]
+    fn non_span_end_is_the_timestamp() {
+        let r = Record {
+            track: 1,
+            t_us: 42,
+            data: RecordData::Counter {
+                name: "c".to_string(),
+                delta: 3,
+            },
+        };
+        assert_eq!(r.end_us(), 42);
+    }
+
+    #[test]
+    fn fields_from_sorts_by_key() {
+        let f = fields_from(&[("zeta", 1u64.into()), ("alpha", true.into())]);
+        let keys: Vec<&str> = f.keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["alpha", "zeta"]);
+    }
+}

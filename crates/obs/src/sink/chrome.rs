@@ -1,0 +1,144 @@
+//! Chrome trace-event sink.
+//!
+//! Converts a [`Trace`] to the Trace Event Format consumed by Perfetto
+//! and `chrome://tracing`. Sim-time maps directly onto the `ts` axis:
+//! one sim-microsecond tick = one trace microsecond, so a 24-sim-hour
+//! campaign renders as a 24-hour timeline. Tracks become `tid`s (track
+//! 0 is the recording scope, track `i + 1` is replication task `i`).
+//!
+//! Mapping:
+//!
+//! * spans → complete events (`"ph":"X"` with `ts`/`dur`),
+//! * structured events → thread-scoped instants (`"ph":"i"`, `"s":"t"`),
+//! * counters and gauges → counter events (`"ph":"C"`; counters render
+//!   their cumulative total so the counter track is monotone),
+//! * histogram samples have no Chrome analog and are left to the
+//!   metrics snapshot in the JSONL sink.
+
+use super::{f, fields_value, obj, s, u};
+use crate::collector::Trace;
+use crate::record::RecordData;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Renders the trace as a single JSON object document
+/// (`{"traceEvents": […], "displayTimeUnit": "ms"}`).
+#[must_use]
+pub fn render(trace: &Trace) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(trace.records.len());
+    let mut cumulative: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in &trace.records {
+        let ts = u(r.t_us);
+        let tid = u(u64::from(r.track));
+        match &r.data {
+            RecordData::Span {
+                target,
+                name,
+                dur_us,
+                fields,
+            } => events.push(obj(vec![
+                ("name", s(name)),
+                ("cat", s(target)),
+                ("ph", s("X")),
+                ("ts", ts),
+                ("dur", u(*dur_us)),
+                ("pid", u(0)),
+                ("tid", tid),
+                ("args", fields_value(fields)),
+            ])),
+            RecordData::Event {
+                target,
+                name,
+                fields,
+            } => events.push(obj(vec![
+                ("name", s(name)),
+                ("cat", s(target)),
+                ("ph", s("i")),
+                ("ts", ts),
+                ("pid", u(0)),
+                ("tid", tid),
+                ("s", s("t")),
+                ("args", fields_value(fields)),
+            ])),
+            RecordData::Counter { name, delta } => {
+                let slot = cumulative.entry(name.as_str()).or_insert(0);
+                *slot = slot.saturating_add(*delta);
+                let total = *slot;
+                events.push(obj(vec![
+                    ("name", s(name)),
+                    ("ph", s("C")),
+                    ("ts", ts),
+                    ("pid", u(0)),
+                    ("tid", tid),
+                    ("args", obj(vec![("value", u(total))])),
+                ]));
+            }
+            RecordData::Gauge { name, value } => events.push(obj(vec![
+                ("name", s(name)),
+                ("ph", s("C")),
+                ("ts", ts),
+                ("pid", u(0)),
+                ("tid", tid),
+                ("args", obj(vec![("value", f(*value))])),
+            ])),
+            RecordData::Observe { .. } => {}
+        }
+    }
+    let doc = obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", s("ms")),
+    ]);
+    let mut out = doc.to_string();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{counter, event, record_scope, span};
+
+    #[test]
+    fn counters_render_cumulative_totals() {
+        let ((), trace) = record_scope(0, || {
+            counter("c", 1, 2);
+            counter("c", 5, 3);
+        });
+        let doc: Value = serde_json::from_str(&render(&trace)).expect("valid json");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("events array");
+        let totals: Vec<u64> = events
+            .iter()
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_u64)
+            })
+            .collect();
+        assert_eq!(totals, vec![2, 5]);
+    }
+
+    #[test]
+    fn spans_and_events_carry_the_trace_event_shape() {
+        let ((), trace) = record_scope(3, || {
+            span("demo", "work", 10, 50, &[("k", "v".into())]);
+            event("demo", "mark", 20, &[]);
+        });
+        let doc: Value = serde_json::from_str(&render(&trace)).expect("valid json");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("events array");
+        assert_eq!(events.len(), 2);
+        let span_ev = &events[0];
+        assert_eq!(span_ev.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(span_ev.get("ts").and_then(Value::as_u64), Some(10));
+        assert_eq!(span_ev.get("dur").and_then(Value::as_u64), Some(40));
+        assert_eq!(span_ev.get("tid").and_then(Value::as_u64), Some(3));
+        let inst = &events[1];
+        assert_eq!(inst.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(inst.get("s").and_then(Value::as_str), Some("t"));
+    }
+}

@@ -1,0 +1,337 @@
+//! JSONL trace sink: one JSON object per line.
+//!
+//! Layout, in order:
+//!
+//! 1. one line per [`Record`] (`"type"` discriminates `span` / `event`
+//!    / `counter` / `gauge` / `observe`),
+//! 2. one `{"type":"metrics", …}` line — the registry snapshot,
+//! 3. one final `{"type":"machine", …}` line — the machine-dependent
+//!    section.
+//!
+//! Everything above the machine line is deterministic: byte-identical
+//! for the same seed at any `--threads` value. [`render_deterministic`]
+//! emits exactly that prefix, so determinism checks are a string
+//! comparison.
+
+use super::{f, fields_value, obj, s, u};
+use crate::collector::Trace;
+use crate::metrics::{GaugeStat, HistStat, MetricsRegistry};
+use crate::record::{FieldValue, Fields, Record, RecordData};
+use serde_json::{Number, Value};
+use std::collections::BTreeMap;
+
+fn record_line(r: &Record) -> Value {
+    let track = u(u64::from(r.track));
+    let t = u(r.t_us);
+    match &r.data {
+        RecordData::Span {
+            target,
+            name,
+            dur_us,
+            fields,
+        } => obj(vec![
+            ("type", s("span")),
+            ("track", track),
+            ("t", t),
+            ("target", s(target)),
+            ("name", s(name)),
+            ("dur", u(*dur_us)),
+            ("fields", fields_value(fields)),
+        ]),
+        RecordData::Event {
+            target,
+            name,
+            fields,
+        } => obj(vec![
+            ("type", s("event")),
+            ("track", track),
+            ("t", t),
+            ("target", s(target)),
+            ("name", s(name)),
+            ("fields", fields_value(fields)),
+        ]),
+        RecordData::Counter { name, delta } => obj(vec![
+            ("type", s("counter")),
+            ("track", track),
+            ("t", t),
+            ("name", s(name)),
+            ("delta", u(*delta)),
+        ]),
+        RecordData::Gauge { name, value } => obj(vec![
+            ("type", s("gauge")),
+            ("track", track),
+            ("t", t),
+            ("name", s(name)),
+            ("value", f(*value)),
+        ]),
+        RecordData::Observe { name, value } => obj(vec![
+            ("type", s("observe")),
+            ("track", track),
+            ("t", t),
+            ("name", s(name)),
+            ("value", f(*value)),
+        ]),
+    }
+}
+
+fn metrics_line(m: &MetricsRegistry) -> Value {
+    let counters = Value::Object(
+        m.counters()
+            .iter()
+            .map(|(k, v)| (k.clone(), u(*v)))
+            .collect(),
+    );
+    let gauges = Value::Object(
+        m.gauges()
+            .iter()
+            .map(|(k, g)| {
+                (
+                    k.clone(),
+                    obj(vec![
+                        ("last", f(g.last)),
+                        ("min", f(g.min)),
+                        ("max", f(g.max)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let histograms = Value::Object(
+        m.histograms()
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    obj(vec![
+                        ("count", u(h.count)),
+                        ("sum", f(h.sum)),
+                        ("min", f(h.min)),
+                        ("max", f(h.max)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("type", s("metrics")),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
+}
+
+fn machine_line(stats: &BTreeMap<String, f64>) -> Value {
+    let stats = Value::Object(stats.iter().map(|(k, v)| (k.clone(), f(*v))).collect());
+    obj(vec![("type", s("machine")), ("stats", stats)])
+}
+
+/// Renders the deterministic sections only — records and the metrics
+/// snapshot, no machine line. Byte-identical across thread counts for
+/// the same seed.
+#[must_use]
+pub fn render_deterministic(trace: &Trace) -> String {
+    let mut out = String::new();
+    for r in &trace.records {
+        out.push_str(&record_line(r).to_string());
+        out.push('\n');
+    }
+    out.push_str(&metrics_line(&trace.metrics).to_string());
+    out.push('\n');
+    out
+}
+
+/// Renders the full trace: deterministic sections followed by the
+/// machine-dependent line.
+#[must_use]
+pub fn render(trace: &Trace) -> String {
+    let mut out = render_deterministic(trace);
+    out.push_str(&machine_line(&trace.machine).to_string());
+    out.push('\n');
+    out
+}
+
+fn want_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+fn want_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field `{key}`"))
+}
+
+fn want_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing number field `{key}`"))
+}
+
+fn want_obj<'v>(v: &'v Value, key: &str) -> Result<&'v [(String, Value)], String> {
+    v.get(key)
+        .and_then(Value::as_object)
+        .map(Vec::as_slice)
+        .ok_or_else(|| format!("missing object field `{key}`"))
+}
+
+fn parse_fields(v: &Value) -> Result<Fields, String> {
+    let mut fields = Fields::new();
+    for (k, raw) in want_obj(v, "fields")? {
+        let parsed = match raw {
+            Value::Bool(b) => FieldValue::Bool(*b),
+            Value::String(x) => FieldValue::Str(x.clone()),
+            // Match the lexical variant, not `as_u64` (which accepts
+            // integral floats and would turn `4.0` back into `U64(4)`).
+            Value::Number(Number::PosInt(x)) => FieldValue::U64(*x),
+            Value::Number(Number::NegInt(x)) => FieldValue::I64(*x),
+            Value::Number(Number::Float(x)) => FieldValue::F64(*x),
+            _ => return Err(format!("unsupported field value for `{k}`")),
+        };
+        fields.insert(k.clone(), parsed);
+    }
+    Ok(fields)
+}
+
+fn parse_record(line: &Value, kind: &str) -> Result<Record, String> {
+    let track = want_u64(line, "track")? as u32;
+    let t_us = want_u64(line, "t")?;
+    let data = match kind {
+        "span" => RecordData::Span {
+            target: want_str(line, "target")?,
+            name: want_str(line, "name")?,
+            dur_us: want_u64(line, "dur")?,
+            fields: parse_fields(line)?,
+        },
+        "event" => RecordData::Event {
+            target: want_str(line, "target")?,
+            name: want_str(line, "name")?,
+            fields: parse_fields(line)?,
+        },
+        "counter" => RecordData::Counter {
+            name: want_str(line, "name")?,
+            delta: want_u64(line, "delta")?,
+        },
+        "gauge" => RecordData::Gauge {
+            name: want_str(line, "name")?,
+            value: want_f64(line, "value")?,
+        },
+        "observe" => RecordData::Observe {
+            name: want_str(line, "name")?,
+            value: want_f64(line, "value")?,
+        },
+        other => return Err(format!("unknown record type `{other}`")),
+    };
+    Ok(Record { track, t_us, data })
+}
+
+fn parse_metrics(line: &Value, registry: &mut MetricsRegistry) -> Result<(), String> {
+    for (name, total) in want_obj(line, "counters")? {
+        let total = total
+            .as_u64()
+            .ok_or_else(|| format!("bad counter total for `{name}`"))?;
+        registry.set_counter(name.clone(), total);
+    }
+    for (name, g) in want_obj(line, "gauges")? {
+        registry.set_gauge(
+            name.clone(),
+            GaugeStat {
+                last: want_f64(g, "last")?,
+                min: want_f64(g, "min")?,
+                max: want_f64(g, "max")?,
+            },
+        );
+    }
+    for (name, h) in want_obj(line, "histograms")? {
+        registry.set_histogram(
+            name.clone(),
+            HistStat {
+                count: want_u64(h, "count")?,
+                sum: want_f64(h, "sum")?,
+                min: want_f64(h, "min")?,
+                max: want_f64(h, "max")?,
+            },
+        );
+    }
+    Ok(())
+}
+
+/// Parses a JSONL trace back into a [`Trace`].
+///
+/// # Errors
+///
+/// Returns a `file-position: reason` message on malformed lines.
+pub fn parse(text: &str) -> Result<Trace, String> {
+    let mut trace = Trace::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line: Value =
+            serde_json::from_str(raw).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = want_str(&line, "type").map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        match kind.as_str() {
+            "metrics" => parse_metrics(&line, &mut trace.metrics)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+            "machine" => {
+                for (name, v) in
+                    want_obj(&line, "stats").map_err(|e| format!("line {}: {e}", lineno + 1))?
+                {
+                    let v = v
+                        .as_f64()
+                        .ok_or_else(|| format!("line {}: bad machine stat `{name}`", lineno + 1))?;
+                    trace.machine.insert(name.clone(), v);
+                }
+            }
+            kind => {
+                let record =
+                    parse_record(&line, kind).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                trace.records.push(record);
+            }
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::record_scope;
+    use crate::collector::{counter, event, gauge, machine_stat, observe, span};
+
+    fn demo_trace() -> Trace {
+        let ((), trace) = record_scope(0, || {
+            event("demo", "start", 0, &[("n", 3u64.into())]);
+            counter("demo.count", 10, 2);
+            gauge("demo.queue", 20, 4.0);
+            observe("demo.latency", 30, 1.5);
+            span("demo", "work", 0, 40, &[("label", "alpha".into())]);
+            machine_stat("demo.steals", 2.0);
+        });
+        trace
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let trace = demo_trace();
+        let parsed = parse(&render(&trace)).expect("parses");
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn deterministic_render_is_a_prefix_without_the_machine_line() {
+        let trace = demo_trace();
+        let full = render(&trace);
+        let det = render_deterministic(&trace);
+        assert!(full.starts_with(&det));
+        assert!(!det.contains("\"machine\""));
+        assert!(full.contains("\"machine\""));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_a_line_number() {
+        let err = parse("{\"type\":\"span\"}\n").expect_err("malformed");
+        assert!(err.starts_with("line 1:"), "err: {err}");
+    }
+}

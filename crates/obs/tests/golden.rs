@@ -1,0 +1,131 @@
+//! Golden-file tests for the two sinks: the rendered bytes of a fixed
+//! fixture trace are frozen under `tests/golden/`, so any accidental
+//! format change shows up as a reviewable diff. Regenerate after an
+//! *intentional* format change with
+//!
+//! ```text
+//! cargo test -p hc-obs --test golden -- --ignored regenerate
+//! ```
+
+use std::path::PathBuf;
+
+/// A fixture exercising every record kind, field type, the metrics
+/// registry, and the machine section.
+fn fixture_trace() -> hc_obs::Trace {
+    let ((), trace) = hc_obs::record_scope(0, || {
+        hc_obs::span(
+            "sim",
+            "run",
+            0,
+            5_000,
+            &[
+                ("events", 12u64.into()),
+                ("outcome", "drained".into()),
+                ("queue_ok", true.into()),
+                ("drift", (-3i64).into()),
+                ("load", 0.25f64.into()),
+            ],
+        );
+        hc_obs::event(
+            "core",
+            "pair",
+            1_500,
+            &[("player", 3u64.into()), ("waited_us", 250_000u64.into())],
+        );
+        hc_obs::counter("core.sessions", 2_000, 1);
+        hc_obs::counter("core.sessions", 4_000, 2);
+        hc_obs::gauge("sim.queue_high_water", 4_500, 7.0);
+        hc_obs::observe("core.pair_wait_secs", 4_800, 0.25);
+        hc_obs::machine_stat("par.workers", 4.0);
+        hc_obs::machine_stat("par.steals", 9.0);
+    });
+    trace
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+#[test]
+fn jsonl_render_matches_golden() {
+    let rendered = hc_obs::sink::jsonl::render(&fixture_trace());
+    assert_eq!(
+        rendered,
+        include_str!("golden/trace.jsonl"),
+        "JSONL format drifted; regenerate the golden file if intentional"
+    );
+}
+
+#[test]
+fn jsonl_golden_round_trips() {
+    let parsed = hc_obs::sink::jsonl::parse(include_str!("golden/trace.jsonl"))
+        .expect("golden trace parses");
+    assert_eq!(parsed, fixture_trace());
+}
+
+#[test]
+fn chrome_render_matches_golden() {
+    let rendered = hc_obs::sink::chrome::render(&fixture_trace());
+    assert_eq!(
+        rendered,
+        include_str!("golden/trace_chrome.json"),
+        "Chrome export format drifted; regenerate the golden file if intentional"
+    );
+}
+
+#[test]
+fn chrome_export_has_valid_trace_event_shape() {
+    let rendered = hc_obs::sink::chrome::render(&fixture_trace());
+    let value: serde_json::Value = serde_json::from_str(&rendered).expect("valid JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(serde_json::Value::as_str)
+            .expect("phase");
+        assert!(
+            matches!(ph, "X" | "i" | "C"),
+            "unexpected phase `{ph}` in {ev}"
+        );
+        for key in ["name", "ts", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "missing `{key}` in {ev}");
+        }
+        if ph == "X" {
+            assert!(ev.get("dur").is_some(), "complete event without dur: {ev}");
+        }
+        if ph == "i" {
+            assert_eq!(
+                ev.get("s").and_then(serde_json::Value::as_str),
+                Some("t"),
+                "instant event without thread scope: {ev}"
+            );
+        }
+    }
+}
+
+/// Not a test: rewrites the golden files from the current sink output.
+/// Run explicitly (`-- --ignored regenerate`) after an intentional
+/// format change, then review the diff.
+#[test]
+#[ignore = "regenerates the golden files; run explicitly after intentional format changes"]
+fn regenerate() {
+    let trace = fixture_trace();
+    std::fs::create_dir_all(golden_path("")).expect("golden dir");
+    std::fs::write(
+        golden_path("trace.jsonl"),
+        hc_obs::sink::jsonl::render(&trace),
+    )
+    .expect("write jsonl golden");
+    std::fs::write(
+        golden_path("trace_chrome.json"),
+        hc_obs::sink::chrome::render(&trace),
+    )
+    .expect("write chrome golden");
+}

@@ -76,24 +76,22 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs `jobs` independent replications of `job` across `threads`
-/// worker threads and returns their results **in index order**.
-///
-/// `threads` is clamped to `1..=jobs`; `threads <= 1` runs strictly
-/// serially on the calling thread (no pool is built at all). Because
-/// every job is a pure function of its index, the returned vector is
-/// identical for every thread count.
-///
-/// # Errors
-///
-/// Returns [`ReplicationError::Panicked`] when any job panics (lowest
-/// index wins, so the error is deterministic too), or
-/// [`ReplicationError::Pool`] if a worker thread itself fails.
-pub fn run_replications<T, F>(
+/// Machine-dependent facts about one pool run — how many workers ran
+/// and how many tasks moved between queues. Reported through
+/// [`hc_obs::machine_stat`] only, never in deterministic trace records.
+#[derive(Debug, Clone, Copy)]
+struct PoolStats {
+    workers: usize,
+    steals: u64,
+}
+
+/// The untraced pool: runs the jobs and returns results in index order
+/// plus the (machine-dependent) scheduling stats.
+fn run_raw<T, F>(
     jobs: usize,
     threads: usize,
     job: F,
-) -> Result<Vec<T>, ReplicationError>
+) -> Result<(Vec<T>, PoolStats), ReplicationError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -112,7 +110,13 @@ where
                 }
             }
         }
-        return Ok(out);
+        return Ok((
+            out,
+            PoolStats {
+                workers: 1,
+                steals: 0,
+            },
+        ));
     }
 
     // Pre-distribute indices round-robin onto per-worker FIFO queues.
@@ -130,12 +134,23 @@ where
             let job = &job;
             handles.push(scope.spawn(move |_| {
                 let mut outcomes: JobOutcomes<T> = Vec::new();
-                while let Some(index) = local.pop().or_else(|| steal_any(stealers, me)) {
+                let mut steals = 0u64;
+                loop {
+                    let index = match local.pop() {
+                        Some(i) => i,
+                        None => match steal_any(stealers, me) {
+                            Some(i) => {
+                                steals += 1;
+                                i
+                            }
+                            None => break,
+                        },
+                    };
                     let result = catch_unwind(AssertUnwindSafe(|| job(index)))
                         .map_err(|p| panic_message(p.as_ref()));
                     outcomes.push((index, result));
                 }
-                outcomes
+                (outcomes, steals)
             }));
         }
         let mut per_worker = Vec::new();
@@ -158,8 +173,9 @@ where
     // error matches what a serial run would report.
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
     let mut first_panic: Option<(usize, String)> = None;
+    let mut steals = 0u64;
     for worker_result in per_worker {
-        let outcomes = match worker_result {
+        let (outcomes, worker_steals) = match worker_result {
             Ok(o) => o,
             Err(_) => {
                 return Err(ReplicationError::Pool {
@@ -167,6 +183,7 @@ where
                 })
             }
         };
+        steals += worker_steals;
         for (index, result) in outcomes {
             match result {
                 Ok(t) => {
@@ -197,6 +214,73 @@ where
             }
         }
     }
+    Ok((
+        out,
+        PoolStats {
+            workers: threads,
+            steals,
+        },
+    ))
+}
+
+/// Runs `jobs` independent replications of `job` across `threads`
+/// worker threads and returns their results **in index order**.
+///
+/// `threads` is clamped to `1..=jobs`; `threads <= 1` runs strictly
+/// serially on the calling thread (no pool is built at all). Because
+/// every job is a pure function of its index, the returned vector is
+/// identical for every thread count.
+///
+/// ## Tracing
+///
+/// When an `hc-obs` recording scope is active on the *calling* thread,
+/// every task runs inside its own buffered scope (track `index + 1`)
+/// and the per-task traces are merged back into the caller **in index
+/// order** — so the merged trace, like the results, is byte-identical
+/// at any `--threads` value regardless of completion order. Worker and
+/// steal counts are genuinely machine-dependent and are reported
+/// separately via `machine_stat`, outside the deterministic sections.
+///
+/// # Errors
+///
+/// Returns [`ReplicationError::Panicked`] when any job panics (lowest
+/// index wins, so the error is deterministic too), or
+/// [`ReplicationError::Pool`] if a worker thread itself fails.
+pub fn run_replications<T, F>(
+    jobs: usize,
+    threads: usize,
+    job: F,
+) -> Result<Vec<T>, ReplicationError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if !hc_obs::active() {
+        return run_raw(jobs, threads, job).map(|(out, _)| out);
+    }
+    let job = &job;
+    let (traced, stats) = run_raw(jobs, threads, |index: usize| {
+        hc_obs::record_scope(index as u32 + 1, || job(index))
+    })?;
+    let mut out = Vec::with_capacity(jobs);
+    for (index, (data, mut trace)) in traced.into_iter().enumerate() {
+        let end_us = trace.max_t_us();
+        trace.records.push(hc_obs::Record {
+            track: index as u32 + 1,
+            t_us: 0,
+            data: hc_obs::RecordData::Span {
+                target: "sim.par".to_string(),
+                name: "task".to_string(),
+                dur_us: end_us,
+                fields: hc_obs::fields_from(&[("index", index.into())]),
+            },
+        });
+        hc_obs::merge_trace(trace);
+        out.push(data);
+    }
+    hc_obs::counter_now("par.tasks", jobs as u64);
+    hc_obs::machine_stat("par.workers", stats.workers as f64);
+    hc_obs::machine_stat("par.steals", stats.steals as f64);
     Ok(out)
 }
 

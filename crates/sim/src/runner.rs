@@ -103,29 +103,67 @@ impl<E> Simulation<E> {
     /// Runs until the queue drains, `horizon` is passed, or the event budget
     /// runs out. The handler receives `(self, event_time, event)` and may
     /// schedule more events.
+    ///
+    /// When an `hc-obs` recording scope is active the loop additionally
+    /// records a `sim.run` span, an events-dispatched counter, the
+    /// queue-depth high-water gauge and the outcome — pure observation,
+    /// checked once at entry so uninstrumented runs pay nothing inside
+    /// the loop.
     pub fn run<F>(&mut self, horizon: SimTime, mut handler: F) -> StepOutcome
     where
         F: FnMut(&mut Simulation<E>, SimTime, E),
     {
-        loop {
+        let tracing = hc_obs::active();
+        let started = self.now;
+        let handled_before = self.queue.popped_count();
+        let mut queue_high_water = self.queue.len();
+        let outcome = loop {
             if self.queue.popped_count() >= self.event_budget {
-                return StepOutcome::BudgetExhausted;
+                break StepOutcome::BudgetExhausted;
             }
             match self.queue.peek_time() {
-                None => return StepOutcome::Drained,
+                None => break StepOutcome::Drained,
                 Some(t) if t > horizon => {
                     self.now = horizon;
-                    return StepOutcome::HorizonReached;
+                    break StepOutcome::HorizonReached;
                 }
                 Some(_) => {
                     // The peek above saw an event, so the pop yields it.
                     if let Some((t, ev)) = self.queue.pop() {
                         self.now = t;
                         handler(self, t, ev);
+                        if tracing {
+                            queue_high_water = queue_high_water.max(self.queue.len());
+                        }
                     }
                 }
             }
+        };
+        if tracing {
+            let dispatched = self.queue.popped_count().saturating_sub(handled_before);
+            let outcome_label = match outcome {
+                StepOutcome::Drained => "drained",
+                StepOutcome::HorizonReached => "horizon",
+                StepOutcome::BudgetExhausted => "budget",
+            };
+            hc_obs::counter("sim.events", self.now.ticks(), dispatched);
+            hc_obs::gauge(
+                "sim.queue_high_water",
+                self.now.ticks(),
+                queue_high_water as f64,
+            );
+            hc_obs::span(
+                "sim",
+                "run",
+                started.ticks(),
+                self.now.ticks(),
+                &[
+                    ("events", dispatched.into()),
+                    ("outcome", outcome_label.into()),
+                ],
+            );
         }
+        outcome
     }
 }
 

@@ -1,0 +1,88 @@
+//! Property tests for the observability layer's determinism contract:
+//! recording must never change what a replication run computes, and the
+//! deterministic part of a merged trace must be byte-identical at any
+//! `--threads` value (only the machine section may differ).
+
+use hc_sim::{run_seeded_replications, OnlineStats, RngFactory, SimRng};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A replication job with data-dependent cost that also emits spans,
+/// counters and histogram observations — collected under a recording
+/// scope, no-ops otherwise. Serializing the summary makes "equal
+/// results" mean equal RNG streams, not just equal lengths.
+fn stats_job(index: usize, mut rng: SimRng) -> String {
+    let mut stats = OnlineStats::new();
+    let draws = 8 + (index % 7) * 5;
+    let base_us = index as u64 * 1_000;
+    for _ in 0..draws {
+        let x = rng.gen::<f64>();
+        stats.push(x);
+        hc_obs::observe("job.samples", base_us, x);
+    }
+    hc_obs::counter("job.draws", base_us + draws as u64, draws as u64);
+    hc_obs::span(
+        "test",
+        "job",
+        base_us,
+        base_us + draws as u64,
+        &[("index", index.into())],
+    );
+    let summary = vec![
+        stats.count() as f64,
+        stats.mean(),
+        stats.std_dev(),
+        stats.min().unwrap_or(f64::NAN),
+        stats.max().unwrap_or(f64::NAN),
+    ];
+    serde_json::to_string(&summary).expect("stats serialize")
+}
+
+proptest! {
+    #[test]
+    fn recording_never_perturbs_results(
+        jobs in 0usize..32,
+        threads in 1usize..8,
+        seed in 0u64..300,
+    ) {
+        let factory = RngFactory::new(seed);
+        let plain = run_seeded_replications(&factory, "obs", jobs, threads, stats_job)
+            .expect("plain run succeeds");
+        let (recorded, trace) = hc_obs::record_scope(0, || {
+            run_seeded_replications(&factory, "obs", jobs, threads, stats_job)
+        });
+        let recorded = recorded.expect("recorded run succeeds");
+        prop_assert_eq!(plain, recorded, "a subscriber changed the results");
+        // The trace really observed the jobs (per-task span + merged records).
+        prop_assert_eq!(trace.metrics.counter("par.tasks"), jobs as u64);
+    }
+
+    #[test]
+    fn merged_trace_is_thread_invariant(
+        jobs in 0usize..32,
+        threads in 2usize..8,
+        seed in 0u64..300,
+    ) {
+        let factory = RngFactory::new(seed);
+        let record = |t: usize| {
+            let (out, trace) = hc_obs::record_scope(0, || {
+                run_seeded_replications(&factory, "obs", jobs, t, stats_job)
+            });
+            out.expect("run succeeds");
+            trace
+        };
+        let serial = record(1);
+        let parallel = record(threads);
+        // Byte-identical deterministic sections at any thread count…
+        prop_assert_eq!(
+            hc_obs::sink::jsonl::render_deterministic(&serial),
+            hc_obs::sink::jsonl::render_deterministic(&parallel)
+        );
+        // …while worker/steal counts land in the machine section, which
+        // is allowed to differ.
+        prop_assert_eq!(serial.machine.get("par.workers"), Some(&1.0));
+        if jobs > 0 {
+            prop_assert!(parallel.machine.get("par.workers").copied().unwrap_or(0.0) >= 1.0);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`captcha`] | `hc-captcha` | CAPTCHA, OCR attacker, human reader, reCAPTCHA digitization |
 //! | [`aggregate`] | `hc-aggregate` | majority/weighted voting, agreement threshold, Dawid–Skene EM |
 //! | [`sim`] | `hc-sim` | DES kernel: virtual time, event queue, RNG streams, distributions, stats |
+//! | [`obs`] | `hc-obs` | sim-time tracing: recording scopes, spans/events, metrics, trace sinks |
 //!
 //! ## Quickstart
 //!
@@ -85,6 +86,12 @@ pub mod aggregate {
 /// The discrete-event simulation kernel.
 pub mod sim {
     pub use hc_sim::*;
+}
+
+/// Deterministic sim-time observability: recording scopes, spans,
+/// events, the metrics registry, and the JSONL / Chrome trace sinks.
+pub mod obs {
+    pub use hc_obs::*;
 }
 
 /// One-stop imports for examples and downstream applications.
