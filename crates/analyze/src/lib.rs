@@ -13,7 +13,7 @@
 //! | id | severity | scope | invariant |
 //! |----|----------|-------|-----------|
 //! | D1 | error | library crates | no wall-clock / OS entropy (`SystemTime`, `Instant::now`, `thread_rng`, `rand::random`, `std::env`) |
-//! | D2 | error | library crates | no `HashMap`/`HashSet` (iteration-order nondeterminism); use `BTreeMap`/`BTreeSet` |
+//! | D2 | error | library crates | no `HashMap`/`HashSet` (iteration-order nondeterminism); use `hc_collect::DetMap`/`DetSet` or `BTreeMap`/`BTreeSet` |
 //! | D3 | error | library crates | no ad-hoc threading (`std::thread`, `crossbeam`, mpsc channels) outside `hc-sim::par` — all parallelism goes through the replication pool |
 //! | P1 | error | library crates | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` or computed-index slicing |
 //! | O1 | error | library crates | no `println!`/`eprintln!`/`dbg!` — library code emits through `hc-obs`; only the `hc-obs` sink modules may write output |
@@ -37,8 +37,9 @@ use std::path::{Path, PathBuf};
 /// Library crates whose code must be deterministic and panic-free.
 /// `hc-bench` and `hc-analyze` are tool crates: they may read the OS
 /// environment and abort on broken invariants.
-const LIBRARY_CRATES: [&str; 7] = [
+const LIBRARY_CRATES: [&str; 8] = [
     "sim",
+    "collect",
     "core",
     "crowd",
     "games",
@@ -415,7 +416,7 @@ fn check_d2(code: &str) -> Option<String> {
     ["HashMap", "HashSet"]
         .iter()
         .find(|t| code.contains(*t))
-        .map(|t| format!("`{t}` has nondeterministic iteration order; use `BTreeMap`/`BTreeSet` (or justify with an allow if provably never iterated)"))
+        .map(|t| format!("`{t}` has nondeterministic iteration order; use `hc_collect::DetMap`/`DetSet` or `BTreeMap`/`BTreeSet` (or justify with an allow if provably never iterated)"))
 }
 
 fn check_d3(code: &str) -> Option<String> {

@@ -1,0 +1,18 @@
+//! Fixture: the `collect` crate is library code — `DetMap`/`DetSet`
+//! use stays silent under D2, while the other library rules apply.
+
+use hc_collect::DetMap;
+
+/// Tallies words with deterministic iteration order (no D2 here).
+pub fn tally(words: &[String]) -> DetMap<String, usize> {
+    let mut counts: DetMap<String, usize> = DetMap::new();
+    for w in words {
+        *counts.entry(w.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Planted D1: OS entropy is banned in `collect` like any library crate.
+pub fn bad_seed() -> u64 {
+    rand::thread_rng().next_u64()
+}

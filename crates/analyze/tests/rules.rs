@@ -22,6 +22,7 @@ fn planted_violations_fire_exactly() {
         .collect();
     let expected: Vec<(String, String, usize)> = [
         ("H1", "crates/bench/src/h1.rs", 4),
+        ("D1", "crates/collect/src/det.rs", 17),
         ("D2", "crates/core/src/d2.rs", 3),
         ("D2", "crates/core/src/d2.rs", 7),
         ("H2", "crates/core/src/h2.rs", 6),
@@ -123,7 +124,23 @@ fn fixture_report_round_trips_through_json() {
 }
 
 #[test]
+fn det_collections_do_not_trip_d2() {
+    // fixtures/ws/crates/collect/src/det.rs builds a DetMap in library
+    // code; the D2 hash-collection rule must not fire on it (only the
+    // planted D1 does).
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.path.contains("collect/") && d.rule == "D2"),
+        "D2 fired on hc_collect types: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
 fn files_scanned_counts_every_fixture() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
-    assert_eq!(report.files_scanned, 11);
+    assert_eq!(report.files_scanned, 12);
 }

@@ -18,10 +18,10 @@
 
 use crate::corpus::{pseudo_word, ScannedCorpus};
 use crate::ocr::OcrEngine;
+use hc_collect::DetMap;
 use hc_core::text::normalize_label;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Protocol parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -135,7 +135,10 @@ pub struct ReCaptcha {
     corpus: ScannedCorpus,
     config: ReCaptchaConfig,
     status: Vec<WordStatus>,
-    votes: Vec<BTreeMap<String, f64>>,
+    // One tally per corpus word, bumped on every human vote. Entry
+    // lookups only — the winning candidate is detected at insert time,
+    // so the tally is never iterated.
+    votes: Vec<DetMap<String, f64>>,
     control_bank: Vec<String>,
     pending: Vec<usize>,
     served: u64,
@@ -152,12 +155,15 @@ impl ReCaptcha {
         rng: &mut R,
     ) -> Self {
         let mut status = Vec::with_capacity(corpus.len());
-        let mut votes: Vec<BTreeMap<String, f64>> = Vec::with_capacity(corpus.len());
-        let mut pending = Vec::new();
+        let mut votes: Vec<DetMap<String, f64>> = Vec::with_capacity(corpus.len());
+        let mut pending = Vec::with_capacity(corpus.len());
         for w in corpus.iter() {
             let pass1 = normalize_label(&ocr.read(&w.truth, w.distortion, rng));
             let pass2 = normalize_label(&ocr.read(&w.truth, w.distortion, rng));
-            let mut tally = BTreeMap::new();
+            // A tally rarely sees more than a handful of distinct
+            // transcriptions; pre-size past the minimum table so the OCR
+            // seeds and the first human votes never trigger a regrow.
+            let mut tally = DetMap::with_capacity(4);
             if !pass1.is_empty() {
                 *tally.entry(pass1.clone()).or_insert(0.0) += config.ocr_vote_weight;
             }

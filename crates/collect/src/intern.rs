@@ -1,0 +1,220 @@
+//! String interning: map labels and metric names to dense [`Sym`]
+//! symbols once, then compare and hash 4 bytes forever after.
+//!
+//! The hot paths emit the same few dozen strings millions of times
+//! ("metrics.outputs", a vocabulary of labels, …). Keying registries by
+//! `String` pays a full hash + clone per touch; keying by [`Sym`] pays
+//! it once at first sight. Symbols are allocated densely in first-seen
+//! order, so for a deterministic simulation the numbering itself is
+//! deterministic — but like the maps, anything *serialized* from a
+//! sym-keyed container must resolve and sort names at the boundary.
+
+use crate::hash::hash_one;
+use crate::map::{table_for, EMPTY, MIN_TABLE};
+
+/// An interned string: a dense index into its [`Interner`], allocated in
+/// first-seen order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense index (0 for the first string interned, 1 for the
+    /// second, …).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A deterministic string interner.
+///
+/// # Examples
+///
+/// ```
+/// use hc_collect::Interner;
+///
+/// let mut names = Interner::new();
+/// let a = names.intern("metrics.outputs");
+/// let b = names.intern("metrics.players");
+/// assert_eq!(names.intern("metrics.outputs"), a);
+/// assert_ne!(a, b);
+/// assert_eq!(names.resolve(a), "metrics.outputs");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    table: Vec<usize>,
+    mask: usize,
+}
+
+impl Interner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// An empty interner pre-sized for `capacity` distinct strings.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        if capacity == 0 {
+            return Interner::default();
+        }
+        let table_len = table_for(capacity);
+        Interner {
+            strings: Vec::with_capacity(capacity),
+            table: vec![EMPTY; table_len],
+            mask: table_len - 1,
+        }
+    }
+
+    /// Number of distinct strings interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// `true` when nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    fn grow_for_one_more(&mut self) {
+        let needed = self.strings.len() + 1;
+        if self.table.is_empty() {
+            self.table = vec![EMPTY; MIN_TABLE.max(table_for(needed))];
+            self.mask = self.table.len() - 1;
+            self.reindex();
+        } else if needed * 4 > self.table.len() * 3 {
+            self.table = vec![EMPTY; self.table.len() * 2];
+            self.mask = self.table.len() - 1;
+            self.reindex();
+        }
+    }
+
+    fn reindex(&mut self) {
+        for (index, s) in self.strings.iter().enumerate() {
+            let mut slot = (hash_one(s.as_str()) as usize) & self.mask;
+            while self.table[slot] != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.table[slot] = index;
+        }
+    }
+
+    /// Interns `name`, allocating a new [`Sym`] on first sight and
+    /// returning the existing one after — stable for the life of the
+    /// interner.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        self.grow_for_one_more();
+        let mask = self.mask;
+        let mut slot = (hash_one(name) as usize) & mask;
+        loop {
+            let index = self.table[slot];
+            if index == EMPTY {
+                let id = self.strings.len();
+                self.table[slot] = id;
+                self.strings.push(name.to_string());
+                return Sym(id as u32);
+            }
+            if self.strings[index] == name {
+                return Sym(index as u32);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The symbol for `name` if it has been interned, without interning.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.mask;
+        let mut slot = (hash_one(name) as usize) & mask;
+        loop {
+            let index = self.table[slot];
+            if index == EMPTY {
+                return None;
+            }
+            if self.strings[index] == name {
+                return Some(Sym(index as u32));
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The string behind a symbol. Returns `""` for a [`Sym`] minted by
+    /// a *different* interner with a higher index — symbols are only
+    /// meaningful to the interner that created them.
+    #[must_use]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.strings.get(sym.index()).map_or("", String::as_str)
+    }
+
+    /// Iterates `(symbol, string)` pairs in first-seen (= index) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let words = ["dog", "cat", "metrics.play_us", ""];
+        let syms: Vec<Sym> = words.iter().map(|w| i.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            assert_eq!(i.resolve(*s), *w);
+            assert_eq!(i.lookup(w), Some(*s));
+        }
+        assert_eq!(i.lookup("never-seen"), None);
+    }
+
+    #[test]
+    fn growth_keeps_symbols_stable() {
+        let mut i = Interner::new();
+        let first = i.intern("first");
+        for n in 0..1000 {
+            i.intern(&format!("word-{n}"));
+        }
+        assert_eq!(i.intern("first"), first);
+        assert_eq!(i.resolve(first), "first");
+        assert_eq!(i.len(), 1001);
+    }
+
+    #[test]
+    fn foreign_syms_resolve_to_empty() {
+        let mut a = Interner::new();
+        let sym = a.intern("only-in-a");
+        let b = Interner::new();
+        assert_eq!(b.resolve(sym), "");
+    }
+
+    #[test]
+    fn iter_is_first_seen_ordered() {
+        let mut i = Interner::new();
+        i.intern("z");
+        i.intern("a");
+        let order: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(order, ["z", "a"]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Model-based property tests: [`DetMap`]/[`DetSet`] must agree with
+//! `BTreeMap`/`BTreeSet` on every observable (get/contains/len/removal
+//! result/sorted iteration) over arbitrary operation histories, the
+//! interner must round-trip with stable symbols, and two identical runs
+//! must produce identical iteration order (the determinism contract).
+
+use hc_collect::{DetMap, DetSet, Interner};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One scripted operation: `(op, key, value)`. `op` selects
+/// insert/remove/get; keys are drawn from a small domain so histories
+/// revisit keys often (exercising replacement and re-insertion).
+type Op = (u8, u16, u32);
+
+fn apply_to_both(
+    ops: &[Op],
+    det: &mut DetMap<u16, u32>,
+    model: &mut BTreeMap<u16, u32>,
+) -> Result<(), TestCaseError> {
+    for &(op, key, value) in ops {
+        match op % 3 {
+            0 => {
+                prop_assert_eq!(det.insert(key, value), model.insert(key, value));
+            }
+            1 => {
+                prop_assert_eq!(det.remove(&key), model.remove(&key));
+            }
+            _ => {
+                prop_assert_eq!(det.get(&key), model.get(&key));
+            }
+        }
+        prop_assert_eq!(det.len(), model.len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn map_matches_btreemap_on_any_history(
+        ops in vec((0u8..6, 0u16..48, 0u32..1000), 0..200),
+    ) {
+        let mut det: DetMap<u16, u32> = DetMap::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        apply_to_both(&ops, &mut det, &mut model)?;
+        // Terminal state: every key agrees, and the sorted view is
+        // exactly the BTreeMap's iteration.
+        for key in 0u16..48 {
+            prop_assert_eq!(det.get(&key), model.get(&key));
+            prop_assert_eq!(det.contains_key(&key), model.contains_key(&key));
+        }
+        let det_sorted: Vec<(u16, u32)> = det.iter_sorted().map(|(k, v)| (*k, *v)).collect();
+        let model_sorted: Vec<(u16, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(det_sorted, model_sorted);
+    }
+
+    #[test]
+    fn set_matches_btreeset_on_any_history(
+        ops in vec((0u8..6, 0u16..48), 0..200),
+    ) {
+        let mut det: DetSet<u16> = DetSet::new();
+        let mut model: BTreeSet<u16> = BTreeSet::new();
+        for &(op, key) in &ops {
+            match op % 3 {
+                0 => prop_assert_eq!(det.insert(key), model.insert(key)),
+                1 => prop_assert_eq!(det.remove(&key), model.remove(&key)),
+                _ => prop_assert_eq!(det.contains(&key), model.contains(&key)),
+            }
+            prop_assert_eq!(det.len(), model.len());
+        }
+        let det_sorted: Vec<u16> = det.iter_sorted().copied().collect();
+        let model_sorted: Vec<u16> = model.iter().copied().collect();
+        prop_assert_eq!(det_sorted, model_sorted);
+    }
+
+    #[test]
+    fn map_serializes_byte_identically_to_btreemap(
+        ops in vec((0u8..6, 0u16..32, 0u32..1000), 0..120),
+    ) {
+        let mut det: DetMap<u16, u32> = DetMap::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        apply_to_both(&ops, &mut det, &mut model)?;
+        // The sort-at-the-boundary rule, end to end: identical bytes.
+        prop_assert_eq!(
+            serde_json::to_string(&det).expect("det serializes"),
+            serde_json::to_string(&model).expect("model serializes")
+        );
+    }
+
+    #[test]
+    fn interner_round_trips_with_stable_syms(
+        words in vec(vec(0u8..26, 0..8), 1..60),
+    ) {
+        let words: Vec<String> = words
+            .into_iter()
+            .map(|cs| cs.into_iter().map(|c| char::from(b'a' + c)).collect())
+            .collect();
+        let mut interner = Interner::new();
+        let first_pass: Vec<_> = words.iter().map(|w| interner.intern(w)).collect();
+        // Re-interning yields the same symbol; resolve round-trips.
+        for (word, sym) in words.iter().zip(&first_pass) {
+            prop_assert_eq!(interner.intern(word), *sym);
+            prop_assert_eq!(interner.resolve(*sym), word.as_str());
+            prop_assert_eq!(interner.lookup(word), Some(*sym));
+        }
+        // Symbols are dense indices in first-seen order.
+        let mut seen = BTreeSet::new();
+        let mut next_index = 0;
+        for (word, sym) in words.iter().zip(&first_pass) {
+            if seen.insert(word.clone()) {
+                prop_assert_eq!(sym.index(), next_index);
+                next_index += 1;
+            }
+        }
+        prop_assert_eq!(interner.len(), seen.len());
+    }
+
+    #[test]
+    fn identical_runs_iterate_identically(
+        ops in vec((0u8..6, 0u16..48, 0u32..1000), 0..200),
+    ) {
+        // The cross-run determinism contract: replaying the same
+        // operation history yields the same iteration order, element
+        // for element — no per-process entropy anywhere.
+        let build = || {
+            let mut m: DetMap<u16, u32> = DetMap::new();
+            for &(op, key, value) in &ops {
+                match op % 3 {
+                    0 => {
+                        m.insert(key, value);
+                    }
+                    1 => {
+                        m.remove(&key);
+                    }
+                    _ => {}
+                }
+            }
+            m
+        };
+        let a = build();
+        let b = build();
+        let order_a: Vec<(u16, u32)> = a.iter().map(|(k, v)| (*k, *v)).collect();
+        let order_b: Vec<(u16, u32)> = b.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(order_a, order_b);
+    }
+}

@@ -11,10 +11,10 @@
 //! F5 measures the fallback share as a function of arrival rate).
 
 use crate::id::PlayerId;
+use hc_collect::DetMap;
 use hc_sim::{SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Configuration for the matchmaker.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -101,7 +101,10 @@ impl MatchmakerStats {
 #[derive(Debug, Clone)]
 pub struct Matchmaker {
     waiting: Vec<(SimTime, PlayerId)>,
-    last_partner: BTreeMap<PlayerId, PlayerId>,
+    // Rematch bookkeeping is checked on every arrival; the map is
+    // lookup/insert only (never iterated), so the insertion-ordered
+    // DetMap swap cannot change any output byte.
+    last_partner: DetMap<PlayerId, PlayerId>,
     config: MatchmakerConfig,
     stats: MatchmakerStats,
     wait_stats: hc_sim::OnlineStats,
@@ -113,7 +116,7 @@ impl Matchmaker {
     pub fn new(config: MatchmakerConfig) -> Self {
         Matchmaker {
             waiting: Vec::new(),
-            last_partner: BTreeMap::new(),
+            last_partner: DetMap::new(),
             config,
             stats: MatchmakerStats::default(),
             wait_stats: hc_sim::OnlineStats::new(),
@@ -479,7 +482,8 @@ mod tests {
         let mut mm = Matchmaker::new(cfg);
         // Fill the queue with 10 waiters, then pair 200 arrivals against a
         // refilled pool and count partner diversity.
-        let mut partner_hist: BTreeMap<PlayerId, u32> = BTreeMap::new();
+        let mut partner_hist: std::collections::BTreeMap<PlayerId, u32> =
+            std::collections::BTreeMap::new();
         for trial in 0..200u64 {
             for i in 0..10 {
                 mm.on_arrival(t(trial), PlayerId::new(100 + i), &mut r);

@@ -17,9 +17,9 @@
 //! `expected_contribution = throughput × alp` exactly.
 
 use crate::id::PlayerId;
+use hc_collect::DetMap;
 use hc_sim::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// The paper's three metrics for one game.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,7 +72,11 @@ impl std::fmt::Display for GwapMetrics {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ContributionLedger {
-    play_time: BTreeMap<PlayerId, SimDuration>,
+    // Hot on every session end. Lookups/inserts are order-free; the one
+    // iteration that feeds an f64 sum (`total_human_hours`) goes through
+    // `iter_sorted()` so the summation order — and therefore the exact
+    // float result — matches the old BTreeMap byte for byte.
+    play_time: DetMap<PlayerId, SimDuration>,
     total_outputs: u64,
 }
 
@@ -118,7 +122,12 @@ impl ContributionLedger {
     /// Total human-hours so far.
     #[must_use]
     pub fn total_human_hours(&self) -> f64 {
-        self.play_time.values().map(|d| d.as_hours_f64()).sum()
+        // Float addition is not associative: sum in sorted key order,
+        // exactly as the previous BTreeMap-backed ledger did.
+        self.play_time
+            .iter_sorted()
+            .map(|(_, d)| d.as_hours_f64())
+            .sum()
     }
 
     /// Distinct players with any recorded time.

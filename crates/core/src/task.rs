@@ -9,8 +9,9 @@
 
 use crate::answer::Label;
 use crate::id::{PlayerId, TaskId};
+use hc_collect::{DetMap, DetSet};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 /// What a task presents to the player — an abstract stimulus reference.
 ///
@@ -140,10 +141,14 @@ impl PartialOrd for QueueEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TaskQueue {
-    tasks: BTreeMap<TaskId, Task>,
+    // Both maps are on the serving hot path (every `next_for` /
+    // `record_served`). `tasks` is iterated only for order-free counts
+    // and the explicitly order-unspecified `iter()`; `seen` is
+    // membership-only. Scheduling order itself comes from the heap.
+    tasks: DetMap<TaskId, Task>,
     /// Lazy priority heap; entries may be stale and are validated on pop.
     heap: BinaryHeap<QueueEntry>,
-    seen: BTreeMap<PlayerId, BTreeSet<TaskId>>,
+    seen: DetMap<PlayerId, DetSet<TaskId>>,
 }
 
 impl TaskQueue {

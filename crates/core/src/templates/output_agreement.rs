@@ -17,9 +17,9 @@ use crate::answer::{Answer, Label};
 use crate::id::TaskId;
 use crate::templates::{Seat, SubmitOutcome};
 use crate::verify::TabooList;
+use hc_collect::DetSet;
 use hc_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// The terminal summary of an output-agreement round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,7 +76,9 @@ pub struct OutputAgreementRound {
     started: SimTime,
     started_set: bool,
     guesses: [Vec<Label>; 2],
-    guess_sets: [BTreeSet<Label>; 2],
+    // Per-round guess membership: insert + cross-seat `contains` on every
+    // guess, never iterated.
+    guess_sets: [DetSet<Label>; 2],
     passed: [bool; 2],
     taboo_rejections: u32,
     agreed: Option<Label>,
@@ -97,7 +99,7 @@ impl OutputAgreementRound {
             started: SimTime::ZERO,
             started_set: false,
             guesses: [Vec::new(), Vec::new()],
-            guess_sets: [BTreeSet::new(), BTreeSet::new()],
+            guess_sets: [DetSet::new(), DetSet::new()],
             passed: [false, false],
             taboo_rejections: 0,
             agreed: None,

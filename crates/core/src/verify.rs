@@ -17,8 +17,8 @@
 
 use crate::answer::Label;
 use crate::id::{PlayerId, TaskId};
+use hc_collect::{DetMap, DetSet};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
 
 /// A set of labels that may not be used for a task.
 ///
@@ -32,7 +32,10 @@ use std::collections::{BTreeMap, BTreeSet};
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TabooList {
-    labels: BTreeSet<Label>,
+    // Checked on every candidate label; membership-only except for the
+    // explicitly order-unspecified `iter()`. Serialization sorts at the
+    // boundary, so the wire format matches the old BTreeSet exactly.
+    labels: DetSet<Label>,
 }
 
 impl TabooList {
@@ -88,10 +91,11 @@ impl TabooList {
 /// simulation-faithful analogue.)
 #[derive(Debug, Clone, Default)]
 pub struct AgreementTracker {
-    /// (task, label) -> set of contributing pair signatures.
-    support: BTreeMap<(TaskId, Label), BTreeSet<(PlayerId, PlayerId)>>,
+    /// (task, label) -> set of contributing pair signatures. Touched on
+    /// every agreement; lookup/insert only — never iterated.
+    support: DetMap<(TaskId, Label), DetSet<(PlayerId, PlayerId)>>,
     threshold: u32,
-    promoted: BTreeSet<(TaskId, Label)>,
+    promoted: DetSet<(TaskId, Label)>,
 }
 
 impl AgreementTracker {
@@ -100,9 +104,9 @@ impl AgreementTracker {
     #[must_use]
     pub fn new(threshold: u32) -> Self {
         AgreementTracker {
-            support: BTreeMap::new(),
+            support: DetMap::new(),
             threshold: threshold.max(1),
-            promoted: BTreeSet::new(),
+            promoted: DetSet::new(),
         }
     }
 
@@ -202,8 +206,10 @@ impl GoldRecord {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GoldBank {
-    answers: BTreeMap<TaskId, BTreeSet<Label>>,
-    records: BTreeMap<PlayerId, GoldRecord>,
+    // Both maps are lookup/insert-only (never iterated), so the swap to
+    // deterministic open addressing cannot change observable behaviour.
+    answers: DetMap<TaskId, DetSet<Label>>,
+    records: DetMap<PlayerId, GoldRecord>,
     /// Minimum accuracy to stay trusted once enough gold has been seen.
     min_accuracy: f64,
     /// Evidence threshold: below this many gold exposures, players are
@@ -218,8 +224,8 @@ impl GoldBank {
     #[must_use]
     pub fn new(min_accuracy: f64, min_evidence: u32) -> Self {
         GoldBank {
-            answers: BTreeMap::new(),
-            records: BTreeMap::new(),
+            answers: DetMap::new(),
+            records: DetMap::new(),
             min_accuracy: min_accuracy.clamp(0.0, 1.0),
             min_evidence: min_evidence.max(1),
         }

@@ -10,11 +10,11 @@
 
 use crate::params::SessionParams;
 use crate::world::WorldConfig;
+use hc_collect::DetMap;
 use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, EngagementModel, Population, PopulationBuilder};
 use hc_sim::dist::Exponential;
 use hc_sim::{EventQueue, RngFactory, SimRng};
-use std::collections::BTreeMap;
 
 /// Drives one session of a concrete game between two live players.
 pub trait SessionDriver {
@@ -113,7 +113,8 @@ pub struct Campaign<D: SessionDriver> {
     config: CampaignConfig,
     platform: Platform,
     population: Population,
-    plans: BTreeMap<PlayerId, Plan>,
+    // Per-player session plans: keyed lookups only (never iterated).
+    plans: DetMap<PlayerId, Plan>,
     session_ids: hc_core::id::IdAllocator<SessionId>,
     rng: SimRng,
     sessions: u64,
@@ -166,7 +167,9 @@ impl<D: SessionDriver> Campaign<D> {
 
     /// Runs to the horizon and reports.
     pub fn run(&mut self) -> CampaignReport {
-        let mut queue: EventQueue<Ev> = EventQueue::new();
+        // Every player gets an opening arrival, so the queue's working
+        // set is at least the population; size it up front.
+        let mut queue: EventQueue<Ev> = EventQueue::with_capacity(self.config.players.max(16));
         let spread = Exponential::new(1.0 / self.config.arrival_spread.as_secs_f64().max(1e-6))
             .expect("positive spread"); // hc-analyze: allow(P1): rate argument clamped to at least 1e-6
         let ids: Vec<PlayerId> = self.population.players().iter().map(|p| p.id).collect();

@@ -15,12 +15,12 @@
 
 use crate::params::SessionParams;
 use crate::world::{BaseWorld, WorldConfig};
+use hc_collect::DetMap;
 use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, EngagementModel, Population, PopulationBuilder};
 use hc_sim::dist::Exponential;
 use hc_sim::{EventQueue, RngFactory, SimRng};
 use rand::Rng;
-use std::collections::BTreeMap;
 
 /// Maximum answers one seat may produce in one round — the published ESP
 /// interface shows players typing on the order of a dozen guesses per
@@ -507,7 +507,8 @@ pub struct EspCampaign {
     platform: Platform,
     world: EspWorld,
     population: Population,
-    plans: BTreeMap<PlayerId, PlanState>,
+    // Per-player session plans: keyed lookups only (never iterated).
+    plans: DetMap<PlayerId, PlanState>,
     session_ids: hc_core::id::IdAllocator<SessionId>,
     rng: SimRng,
     live_sessions: u64,
@@ -568,7 +569,11 @@ impl EspCampaign {
 
     /// Runs the campaign to its horizon and reports.
     pub fn run(&mut self) -> EspCampaignReport {
-        let mut queue: EventQueue<CampaignEvent> = EventQueue::new();
+        // Every player gets an opening arrival (plus the sweep tick), so
+        // the queue's working set is at least the population; size it up
+        // front instead of regrowing through the arrival storm.
+        let mut queue: EventQueue<CampaignEvent> =
+            EventQueue::with_capacity(self.config.players.max(16) + 1);
         // First arrivals: exponential spread across the opening window.
         let spread = Exponential::new(1.0 / self.config.arrival_spread.as_secs_f64().max(1e-6))
             .expect("positive spread"); // hc-analyze: allow(P1): rate argument clamped to at least 1e-6

@@ -3,12 +3,17 @@
 //!
 //! The registry is a *view* over the records a collector has seen — it
 //! is updated incrementally as records are emitted and merged in index
-//! order, so for a given seed it is identical at any thread count. All
-//! maps are `BTreeMap`, so iteration (and therefore serialization)
-//! order is stable.
+//! order, so for a given seed it is identical at any thread count.
+//!
+//! Hot-path layout: metric names are interned once into [`Sym`]
+//! symbols and the stat maps are symbol-keyed [`DetMap`]s, so the
+//! per-record cost is one short hash probe instead of a `String` clone
+//! plus a tree walk. The snapshot accessors sort by *name* at the
+//! boundary, so everything serialized downstream keeps the exact
+//! ordering the old `BTreeMap`-backed registry produced.
 
 use crate::record::{Record, RecordData};
-use std::collections::BTreeMap;
+use hc_collect::{DetMap, Interner, Sym};
 
 /// Summary of a gauge's observed levels.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,11 +53,14 @@ impl HistStat {
 }
 
 /// Ordered registry of counters, gauges and histograms.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, GaugeStat>,
-    histograms: BTreeMap<String, HistStat>,
+    /// Shared name table: a metric name is interned once, on first
+    /// sight, whichever kind it belongs to.
+    names: Interner,
+    counters: DetMap<Sym, u64>,
+    gauges: DetMap<Sym, GaugeStat>,
+    histograms: DetMap<Sym, HistStat>,
 }
 
 impl MetricsRegistry {
@@ -73,12 +81,14 @@ impl MetricsRegistry {
     pub fn apply(&mut self, record: &Record) {
         match &record.data {
             RecordData::Counter { name, delta } => {
-                let slot = self.counters.entry(name.clone()).or_insert(0);
+                let sym = self.names.intern(name);
+                let slot = self.counters.entry(sym).or_insert(0);
                 *slot = slot.saturating_add(*delta);
             }
             RecordData::Gauge { name, value } => {
+                let sym = self.names.intern(name);
                 self.gauges
-                    .entry(name.clone())
+                    .entry(sym)
                     .and_modify(|g| {
                         g.last = *value;
                         g.min = g.min.min(*value);
@@ -91,8 +101,9 @@ impl MetricsRegistry {
                     });
             }
             RecordData::Observe { name, value } => {
+                let sym = self.names.intern(name);
                 self.histograms
-                    .entry(name.clone())
+                    .entry(sym)
                     .and_modify(|h| {
                         h.count += 1;
                         h.sum += *value;
@@ -113,14 +124,18 @@ impl MetricsRegistry {
     /// Merges another registry into this one. Counters and histogram
     /// sums add; for gauges the *other* registry's `last` wins — merges
     /// happen in replication-index order, so this is deterministic.
+    /// (Each name receives exactly one combining op per merge, so the
+    /// iteration order *within* a merge cannot affect any value.)
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for (name, delta) in &other.counters {
-            let slot = self.counters.entry(name.clone()).or_insert(0);
+        for (sym, delta) in &other.counters {
+            let sym = self.names.intern(other.names.resolve(*sym));
+            let slot = self.counters.entry(sym).or_insert(0);
             *slot = slot.saturating_add(*delta);
         }
-        for (name, g) in &other.gauges {
+        for (sym, g) in &other.gauges {
+            let sym = self.names.intern(other.names.resolve(*sym));
             self.gauges
-                .entry(name.clone())
+                .entry(sym)
                 .and_modify(|mine| {
                     mine.last = g.last;
                     mine.min = mine.min.min(g.min);
@@ -128,9 +143,10 @@ impl MetricsRegistry {
                 })
                 .or_insert(*g);
         }
-        for (name, h) in &other.histograms {
+        for (sym, h) in &other.histograms {
+            let sym = self.names.intern(other.names.resolve(*sym));
             self.histograms
-                .entry(name.clone())
+                .entry(sym)
                 .and_modify(|mine| {
                     mine.count += h.count;
                     mine.sum += h.sum;
@@ -141,43 +157,89 @@ impl MetricsRegistry {
         }
     }
 
+    fn sorted_view<T: Copy>(&self, map: &DetMap<Sym, T>) -> Vec<(&str, T)> {
+        let mut out: Vec<(&str, T)> = map
+            .iter()
+            .map(|(sym, v)| (self.names.resolve(*sym), *v))
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
     /// Current counter totals, name-ordered.
     #[must_use]
-    pub fn counters(&self) -> &BTreeMap<String, u64> {
-        &self.counters
+    pub fn counters(&self) -> Vec<(&str, u64)> {
+        self.sorted_view(&self.counters)
     }
 
     /// Current gauge summaries, name-ordered.
     #[must_use]
-    pub fn gauges(&self) -> &BTreeMap<String, GaugeStat> {
-        &self.gauges
+    pub fn gauges(&self) -> Vec<(&str, GaugeStat)> {
+        self.sorted_view(&self.gauges)
     }
 
     /// Current histogram summaries, name-ordered.
     #[must_use]
-    pub fn histograms(&self) -> &BTreeMap<String, HistStat> {
-        &self.histograms
+    pub fn histograms(&self) -> Vec<(&str, HistStat)> {
+        self.sorted_view(&self.histograms)
     }
 
     /// Total for one counter (0 when never incremented).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.names
+            .lookup(name)
+            .and_then(|sym| self.counters.get(&sym))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// One gauge's summary, if observed.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<GaugeStat> {
+        self.names
+            .lookup(name)
+            .and_then(|sym| self.gauges.get(&sym))
+            .copied()
+    }
+
+    /// One histogram's summary, if observed.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<HistStat> {
+        self.names
+            .lookup(name)
+            .and_then(|sym| self.histograms.get(&sym))
+            .copied()
     }
 
     /// Sets a counter total directly (sink parsing only).
-    pub fn set_counter(&mut self, name: impl Into<String>, total: u64) {
-        self.counters.insert(name.into(), total);
+    pub fn set_counter(&mut self, name: &str, total: u64) {
+        let sym = self.names.intern(name);
+        self.counters.insert(sym, total);
     }
 
     /// Sets a gauge summary directly (sink parsing only).
-    pub fn set_gauge(&mut self, name: impl Into<String>, stat: GaugeStat) {
-        self.gauges.insert(name.into(), stat);
+    pub fn set_gauge(&mut self, name: &str, stat: GaugeStat) {
+        let sym = self.names.intern(name);
+        self.gauges.insert(sym, stat);
     }
 
     /// Sets a histogram summary directly (sink parsing only).
-    pub fn set_histogram(&mut self, name: impl Into<String>, stat: HistStat) {
-        self.histograms.insert(name.into(), stat);
+    pub fn set_histogram(&mut self, name: &str, stat: HistStat) {
+        let sym = self.names.intern(name);
+        self.histograms.insert(sym, stat);
+    }
+}
+
+/// Name-keyed comparison: two registries are equal when they hold the
+/// same stats under the same names, regardless of the symbol numbering
+/// each one's interner happened to assign (a parsed trace interns in
+/// serialized order, not record order).
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.counters() == other.counters()
+            && self.gauges() == other.gauges()
+            && self.histograms() == other.histograms()
     }
 }
 
@@ -218,7 +280,7 @@ mod tests {
                 value: v,
             }));
         }
-        let g = m.gauges().get("g").copied().expect("gauge present");
+        let g = m.gauge("g").expect("gauge present");
         assert_eq!(g.last, 2.0);
         assert_eq!(g.min, 1.0);
         assert_eq!(g.max, 3.0);
@@ -233,7 +295,7 @@ mod tests {
                 value: v,
             }));
         }
-        let h = m.histograms().get("h").copied().expect("hist present");
+        let h = m.histogram("h").expect("hist present");
         assert_eq!(h.count, 3);
         assert_eq!(h.sum, 9.0);
         assert_eq!(h.min, 1.0);
@@ -263,9 +325,33 @@ mod tests {
         }));
         a.merge(&b);
         assert_eq!(a.counter("c"), 7);
-        let g = a.gauges().get("g").copied().expect("gauge present");
+        let g = a.gauge("g").expect("gauge present");
         assert_eq!(g.last, 1.0);
         assert_eq!(g.min, 1.0);
         assert_eq!(g.max, 4.0);
+    }
+
+    #[test]
+    fn equality_ignores_interning_order() {
+        // Build the same stats in opposite insertion orders: symbol
+        // numbering differs, the registries must still compare equal.
+        let mut a = MetricsRegistry::new();
+        a.set_counter("x", 1);
+        a.set_counter("y", 2);
+        let mut b = MetricsRegistry::new();
+        b.set_counter("y", 2);
+        b.set_counter("x", 1);
+        assert_eq!(a, b);
+        b.set_counter("x", 9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn snapshots_are_name_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.set_counter("zeta", 1);
+        m.set_counter("alpha", 2);
+        let names: Vec<&str> = m.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
     }
 }

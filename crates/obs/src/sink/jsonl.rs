@@ -75,18 +75,20 @@ fn record_line(r: &Record) -> Value {
 }
 
 fn metrics_line(m: &MetricsRegistry) -> Value {
+    // The registry's snapshot accessors are name-sorted, so these
+    // objects keep the byte order of the old BTreeMap-backed registry.
     let counters = Value::Object(
         m.counters()
-            .iter()
-            .map(|(k, v)| (k.clone(), u(*v)))
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), u(v)))
             .collect(),
     );
     let gauges = Value::Object(
         m.gauges()
-            .iter()
+            .into_iter()
             .map(|(k, g)| {
                 (
-                    k.clone(),
+                    k.to_string(),
                     obj(vec![
                         ("last", f(g.last)),
                         ("min", f(g.min)),
@@ -98,10 +100,10 @@ fn metrics_line(m: &MetricsRegistry) -> Value {
     );
     let histograms = Value::Object(
         m.histograms()
-            .iter()
+            .into_iter()
             .map(|(k, h)| {
                 (
-                    k.clone(),
+                    k.to_string(),
                     obj(vec![
                         ("count", u(h.count)),
                         ("sum", f(h.sum)),
@@ -231,11 +233,11 @@ fn parse_metrics(line: &Value, registry: &mut MetricsRegistry) -> Result<(), Str
         let total = total
             .as_u64()
             .ok_or_else(|| format!("bad counter total for `{name}`"))?;
-        registry.set_counter(name.clone(), total);
+        registry.set_counter(name, total);
     }
     for (name, g) in want_obj(line, "gauges")? {
         registry.set_gauge(
-            name.clone(),
+            name,
             GaugeStat {
                 last: want_f64(g, "last")?,
                 min: want_f64(g, "min")?,
@@ -245,7 +247,7 @@ fn parse_metrics(line: &Value, registry: &mut MetricsRegistry) -> Result<(), Str
     }
     for (name, h) in want_obj(line, "histograms")? {
         registry.set_histogram(
-            name.clone(),
+            name,
             HistStat {
                 count: want_u64(h, "count")?,
                 sum: want_f64(h, "sum")?,

@@ -56,8 +56,15 @@ impl<E> Simulation<E> {
     /// one billion events.
     #[must_use]
     pub fn new() -> Self {
+        Simulation::with_capacity(64)
+    }
+
+    /// Creates an empty simulation whose event queue is pre-sized for
+    /// `capacity` pending events (the queue still grows on demand).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
         Simulation {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             event_budget: 1_000_000_000,
         }
