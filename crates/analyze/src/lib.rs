@@ -374,10 +374,18 @@ const D1_TOKENS: [&str; 5] = [
 const D3_TOKENS: [&str; 4] = ["std::thread", "thread::spawn", "crossbeam", "mpsc::"];
 
 /// Paths allowed to use threading primitives: the replication pool
-/// itself (`hc-sim::par`), whether a single file or a module directory.
+/// (`hc-sim::par`) and the sharded single-run engine
+/// (`hc-sim::shard`), each as a single file or a module directory.
+/// Both own a determinism contract (index-ordered merge; key-ordered
+/// window exchange) that makes their parallelism byte-invariant, which
+/// is exactly what D3 exists to protect — everything else must route
+/// through them.
 #[must_use]
 pub fn d3_exempt(rel_path: &str) -> bool {
-    rel_path == "crates/sim/src/par.rs" || rel_path.starts_with("crates/sim/src/par/")
+    rel_path == "crates/sim/src/par.rs"
+        || rel_path.starts_with("crates/sim/src/par/")
+        || rel_path == "crates/sim/src/shard.rs"
+        || rel_path.starts_with("crates/sim/src/shard/")
 }
 
 /// O1: direct console output. Library code must emit structured

@@ -1,0 +1,13 @@
+//! Fixture: D3 — a hand-rolled shard exchange outside `hc-sim`.
+//! Cross-shard message passing must live in the sanctioned engine,
+//! where the merge order is provably layout-invariant; a private
+//! channel loop in a library crate is exactly the nondeterminism D3
+//! exists to block.
+
+/// Ships one message through a private channel and joins.
+pub fn exchange() {
+    let (tx, rx) = std::sync::mpsc::channel::<(u64, u32)>();
+    let handle = std::thread::spawn(move || tx.send((0, 1)));
+    let _ = rx.recv();
+    let _ = handle.join();
+}

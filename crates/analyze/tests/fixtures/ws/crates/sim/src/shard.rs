@@ -1,0 +1,10 @@
+//! Fixture: the second sanctioned threading exemption — the sharded
+//! single-run engine (`hc-sim::shard`) owns a key-ordered exchange
+//! merge that keeps its worker threads byte-deterministic; D3 must
+//! stay silent here.
+
+pub fn windows() {
+    let _ = crossbeam::thread::scope(|scope| {
+        scope.spawn(|_| 1 + 1);
+    });
+}

@@ -26,6 +26,8 @@ fn planted_violations_fire_exactly() {
         ("D2", "crates/core/src/d2.rs", 3),
         ("D2", "crates/core/src/d2.rs", 7),
         ("H2", "crates/core/src/h2.rs", 6),
+        ("D3", "crates/core/src/shardx.rs", 9),
+        ("D3", "crates/core/src/shardx.rs", 10),
         ("D3", "crates/games/src/d3.rs", 4),
         ("D3", "crates/games/src/d3.rs", 9),
         ("O1", "crates/games/src/o1.rs", 4),
@@ -66,6 +68,30 @@ fn the_replication_pool_path_is_exempt_from_d3() {
         !report.diagnostics.iter().any(|d| d.path.contains("par.rs")),
         "D3 fired on the exempt pool path: {:?}",
         report.diagnostics
+    );
+}
+
+#[test]
+fn the_shard_engine_path_is_exempt_from_d3() {
+    // fixtures/ws/crates/sim/src/shard.rs uses crossbeam scoped
+    // threads, mirroring the real sharded single-run engine; the
+    // path-based exemption must keep it silent — while the hand-rolled
+    // shard exchange planted in crates/core (shardx.rs) still fires.
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.path.contains("sim/src/shard.rs")),
+        "D3 fired on the exempt shard-engine path: {:?}",
+        report.diagnostics
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.path.contains("shardx.rs") && d.rule == "D3"),
+        "the out-of-engine shard exchange must still fire D3"
     );
 }
 
@@ -142,5 +168,5 @@ fn det_collections_do_not_trip_d2() {
 #[test]
 fn files_scanned_counts_every_fixture() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
-    assert_eq!(report.files_scanned, 12);
+    assert_eq!(report.files_scanned, 14);
 }

@@ -4,6 +4,7 @@
 //! hc-bench compare --determinism A.json B.json
 //! hc-bench compare --baseline BASE.json --current CUR.json \
 //!                  [--max-slowdown X] [--min-speedup Y]
+//! hc-bench compare --sweep-threads 1,2,4,8 --out OUT.json -- CMD [ARGS...]
 //! hc-bench trace summary TRACE.jsonl
 //! hc-bench trace export-chrome TRACE.jsonl OUT.json
 //! ```
@@ -16,6 +17,11 @@
 //!   baselines); `--min-speedup Y` fails when the raw wall-clock
 //!   speedup of current over baseline is below `Y` (same-machine, for
 //!   `--threads 1` vs `--threads N` runs);
+//! * `--sweep-threads` runs the *same* experiment command once per
+//!   thread count (appending `--threads N --bench-json TMP` to `CMD`),
+//!   verifies every run's deterministic sections agree, and writes one
+//!   merged JSON whose `sweep` array holds per-thread-count timing and
+//!   the speedup over the first count — the scaling curve in one file;
 //! * `trace summary` prints the sim-time span/counter summary of a
 //!   recorded trace (from an experiment's `--trace PATH`);
 //! * `trace export-chrome` converts a trace to Chrome trace-event JSON
@@ -23,13 +29,14 @@
 //!
 //! Exit status: 0 pass, 1 check failed, 2 usage/IO error.
 
-use hc_bench::compare::{determinism_diff, load_bench_json, perf_compare};
+use hc_bench::compare::{determinism_diff, load_bench_json, merge_sweep, perf_compare};
 use hc_bench::trace::{load_trace, summarize};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: hc-bench compare --determinism A B
        hc-bench compare --baseline BASE --current CUR [--max-slowdown X] [--min-speedup Y]
+       hc-bench compare --sweep-threads 1,2,4,8 --out OUT -- CMD [ARGS...]
        hc-bench trace summary TRACE
        hc-bench trace export-chrome TRACE OUT";
 
@@ -70,6 +77,80 @@ fn trace_command(args: &[String]) -> ExitCode {
     }
 }
 
+/// Runs `command` once per thread count, appending
+/// `--threads N --bench-json TMP`, and merges the per-run JSONs.
+fn sweep_threads(counts: &[usize], out: &Path, command: &[String]) -> ExitCode {
+    let Some((program, base_args)) = command.split_first() else {
+        return usage_error("--sweep-threads needs a command after `--`");
+    };
+    let mut runs = Vec::with_capacity(counts.len());
+    for &threads in counts {
+        let tmp = out.with_extension(format!("t{threads}.tmp.json"));
+        eprintln!("sweep: {program} --threads {threads}");
+        let status = std::process::Command::new(program)
+            .args(base_args)
+            .arg("--threads")
+            .arg(threads.to_string())
+            .arg("--bench-json")
+            .arg(&tmp)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("hc-bench: `{program}` at --threads {threads} exited with {s}");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("hc-bench: spawn `{program}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        let loaded = load_bench_json(&tmp);
+        let _ = std::fs::remove_file(&tmp);
+        match loaded {
+            Ok(v) => runs.push((threads, v)),
+            Err(e) => {
+                eprintln!("hc-bench: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let merged = match merge_sweep(&runs) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("SWEEP FAILED: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Err(e) = std::fs::write(out, merged.to_string() + "\n") {
+        eprintln!("hc-bench: write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    for (threads, run) in &runs {
+        let wall = run
+            .get("timing")
+            .and_then(|t| t.get("total_wall_secs"))
+            .and_then(serde_json::Value::as_f64)
+            .unwrap_or(f64::NAN);
+        println!("threads={threads}: {wall:.3}s wall");
+    }
+    println!(
+        "sweep OK: {} thread counts, every result byte identical; merged JSON written to {}",
+        runs.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn parse_thread_counts(raw: &str) -> Option<Vec<usize>> {
+    let counts: Vec<usize> = raw
+        .split(',')
+        .map(|p| p.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .ok()?;
+    (!counts.is_empty() && counts.iter().all(|&c| c >= 1)).then_some(counts)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
@@ -80,6 +161,9 @@ fn main() -> ExitCode {
     }
 
     let mut determinism: Vec<PathBuf> = Vec::new();
+    let mut sweep_counts: Option<Vec<usize>> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut command: Vec<String> = Vec::new();
     let mut baseline: Option<PathBuf> = None;
     let mut current: Option<PathBuf> = None;
     let mut max_slowdown: Option<f64> = None;
@@ -88,6 +172,22 @@ fn main() -> ExitCode {
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--sweep-threads" => {
+                match it.next().map(String::as_str).and_then(parse_thread_counts) {
+                    Some(c) => sweep_counts = Some(c),
+                    None => {
+                        return usage_error("--sweep-threads requires a comma-separated count list")
+                    }
+                }
+            }
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage_error("--out requires a path"),
+            },
+            "--" => {
+                command = it.cloned().collect();
+                break;
+            }
             "--determinism" => {
                 let (Some(a), Some(b)) = (it.next(), it.next()) else {
                     return usage_error("--determinism requires two paths");
@@ -112,6 +212,13 @@ fn main() -> ExitCode {
             },
             other => return usage_error(&format!("unknown argument `{other}`")),
         }
+    }
+
+    if let Some(counts) = sweep_counts {
+        let Some(out) = out else {
+            return usage_error("--sweep-threads requires --out PATH");
+        };
+        return sweep_threads(&counts, &out, &command);
     }
 
     if let [a, b] = determinism.as_slice() {

@@ -3,7 +3,7 @@
 //! Every grid-based experiment accepts the same flags:
 //!
 //! ```text
-//! exp_* [SEED] [--seed N] [--threads N] [--reps N] [--smoke] [--bench-json PATH] [--trace PATH]
+//! exp_* [SEED] [--seed N] [--threads N] [--shards K] [--reps N] [--smoke] [--bench-json PATH] [--trace PATH]
 //! ```
 //!
 //! * `SEED` / `--seed N` — master seed (default 42; the bare positional
@@ -13,6 +13,10 @@
 //!   time — see `hc_sim::par`'s determinism contract;
 //! * `--reps N` — seed-replications per grid cell (each experiment has
 //!   its own default);
+//! * `--shards K` — shard count for experiments built on the sharded
+//!   single-run engine (`hc_sim::shard`; currently `exp_scale`).
+//!   **Never changes output bytes** either — the shard exchange merges
+//!   in a layout-independent order;
 //! * `--smoke` — reduced grid for CI smoke runs;
 //! * `--bench-json PATH` — write the machine-readable bench JSON
 //!   (deterministic `results` + machine-dependent `timing`) to `PATH`;
@@ -31,6 +35,9 @@ pub struct RunOpts {
     pub seed: u64,
     /// Worker threads for the replication pool.
     pub threads: usize,
+    /// Shard count for sharded-engine experiments; `None` uses the
+    /// experiment default.
+    pub shards: Option<usize>,
     /// Seed-replications per grid cell; `None` uses the experiment default.
     pub reps: Option<usize>,
     /// Run the reduced CI smoke grid instead of the full grid.
@@ -47,6 +54,7 @@ impl Default for RunOpts {
         RunOpts {
             seed: 42,
             threads: default_threads(),
+            shards: None,
             reps: None,
             smoke: false,
             bench_json: None,
@@ -63,7 +71,7 @@ pub fn default_threads() -> usize {
 }
 
 const USAGE: &str =
-    "usage: exp_* [SEED] [--seed N] [--threads N] [--reps N] [--smoke] [--bench-json PATH] [--trace PATH]";
+    "usage: exp_* [SEED] [--seed N] [--threads N] [--shards K] [--reps N] [--smoke] [--bench-json PATH] [--trace PATH]";
 
 impl RunOpts {
     /// Parses options from `std::env::args`, exiting with status 2 and a
@@ -77,6 +85,7 @@ impl RunOpts {
             match arg.as_str() {
                 "--seed" => opts.seed = parse_flag(&arg, args.next()),
                 "--threads" => opts.threads = parse_flag::<usize>(&arg, args.next()).max(1),
+                "--shards" => opts.shards = Some(parse_flag::<usize>(&arg, args.next()).max(1)),
                 "--reps" => opts.reps = Some(parse_flag::<usize>(&arg, args.next()).max(1)),
                 "--smoke" => opts.smoke = true,
                 "--bench-json" => match args.next() {
@@ -136,6 +145,7 @@ mod tests {
         let o = RunOpts::default();
         assert_eq!(o.seed, 42);
         assert!(o.threads >= 1);
+        assert!(o.shards.is_none());
         assert!(!o.smoke);
         assert!(o.reps.is_none());
         assert!(o.bench_json.is_none());

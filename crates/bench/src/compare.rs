@@ -147,6 +147,52 @@ pub fn perf_compare(baseline: &Value, current: &Value) -> Result<PerfComparison,
     })
 }
 
+/// Merges one grid run per thread count into a single sweep JSON.
+///
+/// The deterministic sections must agree across every run (the whole
+/// point of the sweep is that only wall clock moves); the merged record
+/// keeps them once and adds a `sweep` array with per-thread-count
+/// timing and the raw speedup over the first (slowest-threaded) run.
+///
+/// # Errors
+///
+/// Returns a message when fewer than one run is given, when any run's
+/// deterministic sections diverge from the first, or when timing is
+/// missing.
+pub fn merge_sweep(runs: &[(usize, Value)]) -> Result<Value, String> {
+    let [(first_threads, first), rest @ ..] = runs else {
+        return Err("sweep needs at least one run".to_string());
+    };
+    for (threads, run) in rest {
+        determinism_diff(first, run)
+            .map_err(|e| format!("threads={threads} diverges from threads={first_threads}: {e}"))?;
+    }
+    let (first_total, _) = timing_pair(first, &format!("threads={first_threads}"))?;
+    let mut sweep = Vec::with_capacity(runs.len());
+    for (threads, run) in runs {
+        let which = format!("threads={threads}");
+        let (total, calibration) = timing_pair(run, &which)?;
+        let field = |v: f64| serde_json::to_value(&v).map_err(|e| e.to_string());
+        sweep.push(Value::Object(vec![
+            (
+                "threads".to_string(),
+                serde_json::to_value(threads).map_err(|e| e.to_string())?,
+            ),
+            ("total_wall_secs".to_string(), field(total)?),
+            ("calibration_secs".to_string(), field(calibration)?),
+            ("speedup_vs_first".to_string(), field(first_total / total)?),
+        ]));
+    }
+    let mut merged: Vec<(String, Value)> = Vec::new();
+    for key in DETERMINISTIC_KEYS {
+        if let Some(v) = first.get(key) {
+            merged.push((key.to_string(), v.clone()));
+        }
+    }
+    merged.push(("sweep".to_string(), Value::Array(sweep)));
+    Ok(Value::Object(merged))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +248,42 @@ mod tests {
         assert!((p.current_norm - 120.0).abs() < 1e-9);
         assert!((p.slowdown - 1.2).abs() < 1e-9);
         assert!((p.speedup - 10.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_merges_timing_and_keeps_results_once() {
+        let runs = vec![
+            (1usize, bench(1, 10.0, 0.05, 1)),
+            (2, bench(2, 6.0, 0.05, 1)),
+            (4, bench(4, 4.0, 0.05, 1)),
+        ];
+        let merged = merge_sweep(&runs).expect("merges");
+        assert_eq!(
+            merged.get("results"),
+            runs[0].1.get("results"),
+            "deterministic sections kept once"
+        );
+        let sweep = merged
+            .get("sweep")
+            .and_then(Value::as_array)
+            .expect("sweep array");
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[2].get("threads").and_then(Value::as_u64), Some(4));
+        let speedup = sweep[2]
+            .get("speedup_vs_first")
+            .and_then(Value::as_f64)
+            .expect("speedup");
+        assert!((speedup - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_rejects_diverging_results() {
+        let runs = vec![
+            (1usize, bench(1, 10.0, 0.05, 1)),
+            (4, bench(4, 4.0, 0.05, 9)),
+        ];
+        let err = merge_sweep(&runs).expect_err("must diverge");
+        assert!(err.contains("threads=4 diverges"), "got: {err}");
     }
 
     #[test]

@@ -317,6 +317,7 @@ mod tests {
         RunOpts {
             seed: 7,
             threads,
+            shards: None,
             reps: None,
             smoke: false,
             bench_json: None,

@@ -22,6 +22,9 @@
 //! * [`Interner`] / [`Sym`] — a string interner mapping labels and metric
 //!   names to dense `u32` symbols, so repeated lookups hash 4 bytes
 //!   instead of a whole string and equality is one integer compare.
+//! * [`PlayerStore`] / [`SliceArena`] — dense id-indexed struct-of-arrays
+//!   stores for per-player state, iterated in id order (a `BTreeMap`'s
+//!   key order), with an optional `id % K` stride for sharded engines.
 //!
 //! # The sort-at-the-boundary rule
 //!
@@ -37,8 +40,10 @@ pub mod hash;
 pub mod intern;
 pub mod map;
 pub mod set;
+pub mod store;
 
 pub use hash::FxHasher;
 pub use intern::{Interner, Sym};
 pub use map::{DetMap, Entry, OccupiedEntry, VacantEntry};
 pub use set::DetSet;
+pub use store::{PlayerStore, SliceArena, Span};

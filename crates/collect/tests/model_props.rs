@@ -4,7 +4,7 @@
 //! interner must round-trip with stable symbols, and two identical runs
 //! must produce identical iteration order (the determinism contract).
 
-use hc_collect::{DetMap, DetSet, Interner};
+use hc_collect::{DetMap, DetSet, Interner, PlayerStore};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
@@ -143,5 +143,63 @@ proptest! {
         let order_a: Vec<(u16, u32)> = a.iter().map(|(k, v)| (*k, *v)).collect();
         let order_b: Vec<(u16, u32)> = b.iter().map(|(k, v)| (*k, *v)).collect();
         prop_assert_eq!(order_a, order_b);
+    }
+
+    #[test]
+    fn player_store_matches_btreemap_on_any_history(
+        ops in vec((0u8..10, 0u64..40, 0u32..1000), 0..200),
+        stride in 1u64..5,
+        phase_sel in 0u64..8,
+    ) {
+        // The data-oriented store must agree with a BTreeMap on every
+        // observable, for every residue-class layout: ids live on the
+        // arithmetic progression `phase + stride * k`, mirroring one
+        // shard's slice of a player population.
+        let phase = phase_sel % stride;
+        let mut store: PlayerStore<u32> = PlayerStore::strided(stride, phase);
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for &(op, k, value) in &ops {
+            let id = phase + stride * k;
+            prop_assert!(store.owns(id));
+            match op % 5 {
+                0 => {
+                    prop_assert_eq!(store.insert(id, value), model.insert(id, value));
+                }
+                1 => {
+                    prop_assert_eq!(store.take(id), model.remove(&id));
+                }
+                2 => {
+                    prop_assert_eq!(store.get(id), model.get(&id));
+                    prop_assert_eq!(store.contains(id), model.contains_key(&id));
+                }
+                3 => {
+                    let got = store.get_mut(id);
+                    let want = model.get_mut(&id);
+                    prop_assert_eq!(got.as_deref(), want.as_deref());
+                    if let (Some(g), Some(w)) = (got, want) {
+                        *g += 1;
+                        *w += 1;
+                    }
+                }
+                _ => {
+                    let got = *store.get_or_insert_with(id, || value);
+                    let want = *model.entry(id).or_insert(value);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(store.len(), model.len());
+            prop_assert_eq!(store.is_empty(), model.is_empty());
+        }
+        // Terminal state: iteration is exactly the BTreeMap's id-ordered
+        // view, and off-progression ids are never owned.
+        let store_view: Vec<(u64, u32)> = store.iter().map(|(id, v)| (id, *v)).collect();
+        let model_view: Vec<(u64, u32)> = model.iter().map(|(&id, &v)| (id, v)).collect();
+        prop_assert_eq!(store_view, model_view);
+        let store_ids: Vec<u64> = store.ids().collect();
+        let model_ids: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(store_ids, model_ids);
+        if stride > 1 {
+            prop_assert!(!store.owns(phase + 1));
+        }
     }
 }

@@ -17,6 +17,7 @@
 
 use crate::answer::Label;
 use crate::id::PlayerId;
+use hc_collect::PlayerStore;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -110,10 +111,11 @@ impl CheatAssessment {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CheatDetector {
-    /// partner -> count, per player.
-    pairings: BTreeMap<PlayerId, BTreeMap<PlayerId, u32>>,
+    /// partner -> count, per player. Outer layer is a dense id-indexed
+    /// store (id-order iteration == the old BTreeMap key order).
+    pairings: PlayerStore<BTreeMap<PlayerId, u32>>,
     /// label -> count, per player.
-    answers: BTreeMap<PlayerId, BTreeMap<Label, u32>>,
+    answers: PlayerStore<BTreeMap<Label, u32>>,
     /// Pair-share threshold above which the pair test fires.
     max_pair_share: f64,
     /// Entropy (bits) below which the entropy test fires.
@@ -133,8 +135,8 @@ impl CheatDetector {
     #[must_use]
     pub fn new(max_pair_share: f64, min_entropy_bits: f64, min_evidence: u32) -> Self {
         CheatDetector {
-            pairings: BTreeMap::new(),
-            answers: BTreeMap::new(),
+            pairings: PlayerStore::new(),
+            answers: PlayerStore::new(),
             max_pair_share: max_pair_share.clamp(0.0, 1.0),
             min_entropy_bits: min_entropy_bits.max(0.0),
             min_evidence: min_evidence.max(1),
@@ -143,16 +145,23 @@ impl CheatDetector {
 
     /// Records that `a` and `b` played a session together.
     pub fn record_pairing(&mut self, a: PlayerId, b: PlayerId) {
-        *self.pairings.entry(a).or_default().entry(b).or_insert(0) += 1;
-        *self.pairings.entry(b).or_default().entry(a).or_insert(0) += 1;
+        *self
+            .pairings
+            .get_or_insert_with(a.raw(), BTreeMap::new)
+            .entry(b)
+            .or_insert(0) += 1;
+        *self
+            .pairings
+            .get_or_insert_with(b.raw(), BTreeMap::new)
+            .entry(a)
+            .or_insert(0) += 1;
     }
 
     /// Records one answer by `player`.
     pub fn record_answer(&mut self, player: PlayerId, label: &Label) {
         *self
             .answers
-            .entry(player)
-            .or_default()
+            .get_or_insert_with(player.raw(), BTreeMap::new)
             .entry(label.clone())
             .or_insert(0) += 1;
     }
@@ -160,13 +169,15 @@ impl CheatDetector {
     /// Total games recorded for `player`.
     #[must_use]
     pub fn games_of(&self, player: PlayerId) -> u32 {
-        self.pairings.get(&player).map_or(0, |m| m.values().sum())
+        self.pairings
+            .get(player.raw())
+            .map_or(0, |m| m.values().sum())
     }
 
     /// Shannon entropy (bits) of the player's answer distribution.
     #[must_use]
     pub fn answer_entropy(&self, player: PlayerId) -> Option<f64> {
-        let counts = self.answers.get(&player)?;
+        let counts = self.answers.get(player.raw())?;
         let total: u32 = counts.values().sum();
         if total == 0 {
             return None;
@@ -186,7 +197,7 @@ impl CheatDetector {
     #[must_use]
     pub fn assess(&self, player: PlayerId) -> CheatAssessment {
         let games = self.games_of(player);
-        let max_pair_share = self.pairings.get(&player).and_then(|m| {
+        let max_pair_share = self.pairings.get(player.raw()).and_then(|m| {
             let total: u32 = m.values().sum();
             if total == 0 {
                 return None;
@@ -197,7 +208,10 @@ impl CheatDetector {
         let pair_anomaly =
             games >= self.min_evidence && max_pair_share.is_some_and(|s| s > self.max_pair_share);
 
-        let answer_total: u32 = self.answers.get(&player).map_or(0, |m| m.values().sum());
+        let answer_total: u32 = self
+            .answers
+            .get(player.raw())
+            .map_or(0, |m| m.values().sum());
         let answer_entropy = self.answer_entropy(player);
         let low_entropy = answer_total >= self.min_evidence
             && answer_entropy.is_some_and(|h| h < self.min_entropy_bits);
@@ -222,9 +236,9 @@ impl CheatDetector {
     pub fn suspicious_players(&self) -> Vec<PlayerId> {
         let mut ids: Vec<PlayerId> = self
             .pairings
-            .keys()
-            .chain(self.answers.keys())
-            .copied()
+            .ids()
+            .chain(self.answers.ids())
+            .map(PlayerId::new)
             .collect();
         ids.sort_unstable();
         ids.dedup();

@@ -11,7 +11,7 @@
 //! F5 measures the fallback share as a function of arrival rate).
 
 use crate::id::PlayerId;
-use hc_collect::DetMap;
+use hc_collect::PlayerStore;
 use hc_sim::{SimDuration, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -101,10 +101,10 @@ impl MatchmakerStats {
 #[derive(Debug, Clone)]
 pub struct Matchmaker {
     waiting: Vec<(SimTime, PlayerId)>,
-    // Rematch bookkeeping is checked on every arrival; the map is
-    // lookup/insert only (never iterated), so the insertion-ordered
-    // DetMap swap cannot change any output byte.
-    last_partner: DetMap<PlayerId, PlayerId>,
+    // Rematch bookkeeping is checked on every arrival; the store is
+    // lookup/insert only (never iterated), so the dense PlayerStore
+    // swap cannot change any output byte.
+    last_partner: PlayerStore<PlayerId>,
     config: MatchmakerConfig,
     stats: MatchmakerStats,
     wait_stats: hc_sim::OnlineStats,
@@ -116,7 +116,7 @@ impl Matchmaker {
     pub fn new(config: MatchmakerConfig) -> Self {
         Matchmaker {
             waiting: Vec::new(),
-            last_partner: DetMap::new(),
+            last_partner: PlayerStore::new(),
             config,
             stats: MatchmakerStats::default(),
             wait_stats: hc_sim::OnlineStats::new(),
@@ -142,7 +142,7 @@ impl Matchmaker {
         // partner. A player whose only possible partner is their last one
         // queues instead; the replay-bot fallback rescues them if nobody
         // else shows up.
-        let last = self.last_partner.get(&player).copied();
+        let last = self.last_partner.get(player.raw()).copied();
         let eligible: Vec<usize> = (0..self.waiting.len())
             .filter(|&i| {
                 let candidate = self.waiting[i].1;
@@ -157,8 +157,8 @@ impl Matchmaker {
         let (entered, partner) = self.waiting.swap_remove(pick);
         let waited = now.saturating_since(entered);
         self.wait_stats.push(waited.as_secs_f64());
-        self.last_partner.insert(player, partner);
-        self.last_partner.insert(partner, player);
+        self.last_partner.insert(player.raw(), partner);
+        self.last_partner.insert(partner.raw(), player);
         self.stats.live_pairs += 1;
         if hc_obs::active() {
             hc_obs::counter("core.pairs_live", now.ticks(), 1);

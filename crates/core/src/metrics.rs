@@ -17,7 +17,7 @@
 //! `expected_contribution = throughput × alp` exactly.
 
 use crate::id::PlayerId;
-use hc_collect::DetMap;
+use hc_collect::PlayerStore;
 use hc_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -73,10 +73,10 @@ impl std::fmt::Display for GwapMetrics {
 #[derive(Debug, Clone, Default)]
 pub struct ContributionLedger {
     // Hot on every session end. Lookups/inserts are order-free; the one
-    // iteration that feeds an f64 sum (`total_human_hours`) goes through
-    // `iter_sorted()` so the summation order — and therefore the exact
-    // float result — matches the old BTreeMap byte for byte.
-    play_time: DetMap<PlayerId, SimDuration>,
+    // iteration that feeds an f64 sum (`total_human_hours`) runs in the
+    // store's id order — sorted key order — so the summation order, and
+    // therefore the exact float result, matches the old map byte for byte.
+    play_time: PlayerStore<SimDuration>,
     total_outputs: u64,
 }
 
@@ -95,12 +95,14 @@ impl ContributionLedger {
     /// the ledger exactly (see the `obs_metrics` regression test).
     pub fn record_play(&mut self, player: PlayerId, time: SimDuration) {
         if hc_obs::active() {
-            if !self.play_time.contains_key(&player) {
+            if !self.play_time.contains(player.raw()) {
                 hc_obs::counter_now("metrics.players", 1);
             }
             hc_obs::counter_now("metrics.play_us", time.ticks());
         }
-        let entry = self.play_time.entry(player).or_insert(SimDuration::ZERO);
+        let entry = self
+            .play_time
+            .get_or_insert_with(player.raw(), || SimDuration::ZERO);
         *entry += time;
     }
 
@@ -124,10 +126,7 @@ impl ContributionLedger {
     pub fn total_human_hours(&self) -> f64 {
         // Float addition is not associative: sum in sorted key order,
         // exactly as the previous BTreeMap-backed ledger did.
-        self.play_time
-            .iter_sorted()
-            .map(|(_, d)| d.as_hours_f64())
-            .sum()
+        self.play_time.iter().map(|(_, d)| d.as_hours_f64()).sum()
     }
 
     /// Distinct players with any recorded time.
@@ -139,7 +138,7 @@ impl ContributionLedger {
     /// Lifetime play of one player, if recorded.
     #[must_use]
     pub fn lifetime_of(&self, player: PlayerId) -> Option<SimDuration> {
-        self.play_time.get(&player).copied()
+        self.play_time.get(player.raw()).copied()
     }
 
     /// Computes the paper's three metrics. With no recorded time or no
@@ -174,8 +173,8 @@ impl ContributionLedger {
     /// ledger's `record_play`/`record_outputs` calls already emitted
     /// them when they happened, so merging must not double-count.
     pub fn merge(&mut self, other: &ContributionLedger) {
-        for (p, d) in &other.play_time {
-            let entry = self.play_time.entry(*p).or_insert(SimDuration::ZERO);
+        for (p, d) in other.play_time.iter() {
+            let entry = self.play_time.get_or_insert_with(p, || SimDuration::ZERO);
             *entry += *d;
         }
         self.total_outputs += other.total_outputs;

@@ -7,8 +7,8 @@
 //! library objects here — experiment F6 sweeps their effect.
 
 use crate::id::PlayerId;
+use hc_collect::PlayerStore;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// How round events convert into points.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -170,7 +170,9 @@ impl PlayerScore {
 #[derive(Debug, Clone)]
 pub struct Scoreboard {
     rule: ScoreRule,
-    scores: BTreeMap<PlayerId, PlayerScore>,
+    // Dense per-player store; `iter()` yields id order, which is the
+    // BTreeMap key order the leaderboard always saw.
+    scores: PlayerStore<PlayerScore>,
 }
 
 impl Scoreboard {
@@ -179,7 +181,7 @@ impl Scoreboard {
     pub fn new(rule: ScoreRule) -> Self {
         Scoreboard {
             rule,
-            scores: BTreeMap::new(),
+            scores: PlayerStore::new(),
         }
     }
 
@@ -191,7 +193,9 @@ impl Scoreboard {
 
     /// Records one round for `player`; returns the points awarded.
     pub fn record_round(&mut self, player: PlayerId, matched: bool, round_secs: f64) -> u32 {
-        let entry = self.scores.entry(player).or_default();
+        let entry = self
+            .scores
+            .get_or_insert_with(player.raw(), PlayerScore::default);
         let points = self.rule.round_score(matched, round_secs, entry.streak);
         entry.total += u64::from(points);
         entry.rounds += 1;
@@ -208,7 +212,7 @@ impl Scoreboard {
     /// A player's score state.
     #[must_use]
     pub fn score(&self, player: PlayerId) -> Option<&PlayerScore> {
-        self.scores.get(&player)
+        self.scores.get(player.raw())
     }
 
     /// Number of players with any recorded round.
@@ -220,8 +224,11 @@ impl Scoreboard {
     /// Builds the top-`n` leaderboard.
     #[must_use]
     pub fn leaderboard(&self, n: usize) -> Leaderboard {
-        let mut entries: Vec<(PlayerId, u64)> =
-            self.scores.iter().map(|(p, s)| (*p, s.total)).collect();
+        let mut entries: Vec<(PlayerId, u64)> = self
+            .scores
+            .iter()
+            .map(|(p, s)| (PlayerId::new(p), s.total))
+            .collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         entries.truncate(n);
         Leaderboard { entries }

@@ -9,7 +9,7 @@
 
 use crate::answer::Label;
 use crate::id::{PlayerId, TaskId};
-use hc_collect::{DetMap, DetSet};
+use hc_collect::{DetMap, DetSet, PlayerStore};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 
@@ -148,7 +148,7 @@ pub struct TaskQueue {
     tasks: DetMap<TaskId, Task>,
     /// Lazy priority heap; entries may be stale and are validated on pop.
     heap: BinaryHeap<QueueEntry>,
-    seen: DetMap<PlayerId, DetSet<TaskId>>,
+    seen: PlayerStore<DetSet<TaskId>>,
 }
 
 impl TaskQueue {
@@ -222,9 +222,11 @@ impl TaskQueue {
             if matches!(task.state, TaskState::Completed | TaskState::Retired) {
                 continue; // permanently out; drop entry
             }
-            let seen_by_any = players
-                .iter()
-                .any(|p| self.seen.get(p).is_some_and(|seen| seen.contains(&task.id)));
+            let seen_by_any = players.iter().any(|p| {
+                self.seen
+                    .get(p.raw())
+                    .is_some_and(|seen| seen.contains(&task.id))
+            });
             if seen_by_any {
                 skipped.push(entry);
                 continue;
@@ -249,7 +251,9 @@ impl TaskQueue {
             }
         }
         for p in players {
-            self.seen.entry(*p).or_default().insert(task);
+            self.seen
+                .get_or_insert_with(p.raw(), DetSet::new)
+                .insert(task);
         }
     }
 
@@ -281,7 +285,7 @@ impl TaskQueue {
     /// Forgets which tasks `player` has seen (called when their session
     /// ends, so a future session may revisit tasks).
     pub fn clear_seen(&mut self, player: PlayerId) {
-        self.seen.remove(&player);
+        self.seen.take(player.raw());
     }
 
     /// Iterates over all tasks in unspecified order.

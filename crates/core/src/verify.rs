@@ -17,7 +17,7 @@
 
 use crate::answer::Label;
 use crate::id::{PlayerId, TaskId};
-use hc_collect::{DetMap, DetSet};
+use hc_collect::{DetMap, DetSet, PlayerStore};
 use serde::{Deserialize, Serialize};
 
 /// A set of labels that may not be used for a task.
@@ -209,7 +209,7 @@ pub struct GoldBank {
     // Both maps are lookup/insert-only (never iterated), so the swap to
     // deterministic open addressing cannot change observable behaviour.
     answers: DetMap<TaskId, DetSet<Label>>,
-    records: DetMap<PlayerId, GoldRecord>,
+    records: PlayerStore<GoldRecord>,
     /// Minimum accuracy to stay trusted once enough gold has been seen.
     min_accuracy: f64,
     /// Evidence threshold: below this many gold exposures, players are
@@ -225,7 +225,7 @@ impl GoldBank {
     pub fn new(min_accuracy: f64, min_evidence: u32) -> Self {
         GoldBank {
             answers: DetMap::new(),
-            records: DetMap::new(),
+            records: PlayerStore::new(),
             min_accuracy: min_accuracy.clamp(0.0, 1.0),
             min_evidence: min_evidence.max(1),
         }
@@ -254,7 +254,9 @@ impl GoldBank {
         let Some(accepted) = self.answers.get(&task) else {
             return GoldOutcome::NotGold;
         };
-        let record = self.records.entry(player).or_default();
+        let record = self
+            .records
+            .get_or_insert_with(player.raw(), GoldRecord::default);
         if accepted.contains(answer) {
             record.hits += 1;
             GoldOutcome::Hit
@@ -267,14 +269,14 @@ impl GoldBank {
     /// The player's gold record, if any gold tasks were seen.
     #[must_use]
     pub fn record(&self, player: PlayerId) -> Option<GoldRecord> {
-        self.records.get(&player).copied()
+        self.records.get(player.raw()).copied()
     }
 
     /// Whether the player's outputs should count: trusted by default until
     /// `min_evidence` gold exposures exist, then gated on `min_accuracy`.
     #[must_use]
     pub fn is_trusted(&self, player: PlayerId) -> bool {
-        match self.records.get(&player) {
+        match self.records.get(player.raw()) {
             None => true,
             Some(r) if r.total() < self.min_evidence => true,
             Some(r) => r.accuracy().unwrap_or(1.0) >= self.min_accuracy,

@@ -56,6 +56,7 @@ pub mod esp;
 pub mod matchin;
 pub mod params;
 pub mod peekaboom;
+pub mod shard;
 pub mod squigl;
 pub mod tagatune;
 pub mod verbosity;
@@ -68,6 +69,10 @@ pub use esp::{EspCampaign, EspCampaignConfig, EspCampaignReport, EspWorld};
 pub use matchin::{play_matchin_session, BradleyTerryRanking, MatchinWorld};
 pub use params::SessionParams;
 pub use peekaboom::{play_peekaboom_session, PeekaboomWorld};
+pub use shard::{
+    EspShardGame, ShardGame, ShardedCampaign, ShardedCampaignConfig, ShardedCampaignReport,
+    VerbosityShardGame,
+};
 pub use squigl::{play_squigl_session, SquiglWorld};
 pub use tagatune::{play_tagatune_session, TagATuneWorld};
 pub use verbosity::{fact_label, parse_fact, play_verbosity_session, Relation, VerbosityWorld};

@@ -27,6 +27,7 @@
 //! | [`queue`] | FIFO waiting queues with sojourn-time accounting |
 //! | [`runner`] | [`Simulation`] — a minimal driver looping an [`EventQueue`] to completion |
 //! | [`par`] | Deterministic work-stealing replication pool: same bytes at any `--threads` |
+//! | [`shard`] | Deterministic sharded single-run engine: lock-stepped windows + message exchange, same bytes at any `--shards`/`--threads` |
 //!
 //! ## Example
 //!
@@ -65,6 +66,7 @@ pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod runner;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod timeseries;
@@ -76,6 +78,10 @@ pub use par::{run_replications, run_seeded_replications, ReplicationError};
 pub use queue::FifoQueue;
 pub use rng::{RngFactory, SimRng};
 pub use runner::{Simulation, StepOutcome};
+pub use shard::{
+    Addr, Control, HubDecision, Mailbox, ShardConfig, ShardError, ShardRunStats, ShardWorkload,
+    WindowInfo,
+};
 pub use stats::{ConfidenceInterval, Histogram, OnlineStats, SampleSet};
 pub use time::{SimDuration, SimTime};
 pub use timeseries::{GaugeSeries, RateSeries};
@@ -91,6 +97,10 @@ pub mod prelude {
     pub use crate::queue::FifoQueue;
     pub use crate::rng::{RngFactory, SimRng};
     pub use crate::runner::{Simulation, StepOutcome};
+    pub use crate::shard::{
+        Addr, Control, HubDecision, Mailbox, ShardConfig, ShardError, ShardRunStats, ShardWorkload,
+        WindowInfo,
+    };
     pub use crate::stats::{ConfidenceInterval, Histogram, OnlineStats, SampleSet};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::timeseries::{GaugeSeries, RateSeries};

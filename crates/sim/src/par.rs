@@ -162,9 +162,9 @@ where
 
     let per_worker = match scope_result {
         Ok(v) => v,
-        Err(_) => {
+        Err(payload) => {
             return Err(ReplicationError::Pool {
-                message: "worker scope panicked".to_string(),
+                message: format!("worker scope panicked: {}", panic_message(payload.as_ref())),
             })
         }
     };
@@ -177,9 +177,12 @@ where
     for worker_result in per_worker {
         let (outcomes, worker_steals) = match worker_result {
             Ok(o) => o,
-            Err(_) => {
+            Err(payload) => {
                 return Err(ReplicationError::Pool {
-                    message: "a worker thread died outside a job".to_string(),
+                    message: format!(
+                        "a worker thread died outside a job: {}",
+                        panic_message(payload.as_ref())
+                    ),
                 })
             }
         };
@@ -419,6 +422,28 @@ mod tests {
             let parallel =
                 run_seeded_replications(&factory, "grid", 10, threads, draw).expect("par clean");
             assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn string_panic_payloads_are_preserved() {
+        // `panic!("{}", x)` carries a `String` payload (vs the static
+        // `&str` of a literal); both must survive into the error.
+        for threads in [1, 4] {
+            let err = run_replications(8, threads, |i| {
+                if i == 2 {
+                    panic!("made at index {i}");
+                }
+                i
+            })
+            .expect_err("job 2 panics");
+            match err {
+                ReplicationError::Panicked { index, message } => {
+                    assert_eq!(index, 2);
+                    assert_eq!(message, "made at index 2", "threads={threads}");
+                }
+                other => panic!("wrong error variant: {other}"),
+            }
         }
     }
 
