@@ -1,0 +1,189 @@
+//! Findings ratchet: warning-severity findings may exist, but never
+//! regress.
+//!
+//! The baseline file (`results/analyze_baseline.json`) records the
+//! accepted number of warnings per `(rule, file)`. A check run with
+//! `--baseline` fails when any pair's current count exceeds its
+//! baseline (new pairs count against a baseline of zero); counts that
+//! shrink are always accepted, and `--update-baseline` rewrites the
+//! file so the lower water mark becomes binding. Errors never enter the
+//! baseline — they fail the run outright.
+
+use crate::{Report, Severity};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Accepted warning counts keyed by `"<rule> <path>"`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// `"R2 crates/obs/src/metrics.rs" → 1`-style entries, sorted by
+    /// key for a stable on-disk diff.
+    pub warnings: BTreeMap<String, usize>,
+}
+
+/// One baseline violation: a `(rule, file)` pair with more warnings
+/// than the baseline accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Warnings found now.
+    pub current: usize,
+    /// Warnings the baseline accepts.
+    pub accepted: usize,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ratchet[{}] {}: {} warning(s), baseline accepts {}",
+            self.rule, self.path, self.current, self.accepted
+        )
+    }
+}
+
+impl Baseline {
+    /// Captures the warning counts of a report.
+    #[must_use]
+    pub fn from_report(report: &Report) -> Self {
+        let mut warnings: BTreeMap<String, usize> = BTreeMap::new();
+        for d in &report.diagnostics {
+            if d.severity == Severity::Warning {
+                *warnings
+                    .entry(format!("{} {}", d.rule, d.path))
+                    .or_default() += 1;
+            }
+        }
+        Self { warnings }
+    }
+
+    /// Loads a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file is missing or malformed.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("baseline {}: {e}", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("baseline {}: {e}", path.display()))
+    }
+
+    /// Writes the baseline as pretty JSON with a trailing newline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let mut text =
+            serde_json::to_string_pretty(self).map_err(|e| format!("baseline serialize: {e}"))?;
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("baseline {}: {e}", path.display()))
+    }
+
+    /// Every `(rule, file)` pair whose current warning count exceeds
+    /// the accepted count, sorted by key.
+    #[must_use]
+    pub fn regressions(&self, report: &Report) -> Vec<Regression> {
+        let current = Self::from_report(report);
+        let mut out = Vec::new();
+        for (key, &count) in &current.warnings {
+            let accepted = self.warnings.get(key).copied().unwrap_or(0);
+            if count > accepted {
+                let (rule, path) = key.split_once(' ').unwrap_or((key.as_str(), ""));
+                out.push(Regression {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    current: count,
+                    accepted,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostic;
+
+    fn warn(rule: &str, path: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_string(),
+            severity: Severity::Warning,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    fn report_with(diags: Vec<Diagnostic>) -> Report {
+        Report {
+            diagnostics: diags,
+            files_scanned: 1,
+            allows_honored: 0,
+        }
+    }
+
+    #[test]
+    fn new_warning_is_a_regression_against_an_empty_baseline() {
+        let baseline = Baseline::default();
+        let report = report_with(vec![warn("R2", "crates/obs/src/metrics.rs", 10)]);
+        let regs = baseline.regressions(&report);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].rule, "R2");
+        assert_eq!(regs[0].path, "crates/obs/src/metrics.rs");
+        assert_eq!(regs[0].current, 1);
+        assert_eq!(regs[0].accepted, 0);
+    }
+
+    #[test]
+    fn accepted_warnings_pass_and_shrinking_is_fine() {
+        let report = report_with(vec![
+            warn("R2", "a.rs", 1),
+            warn("R2", "a.rs", 2),
+            warn("R2", "b.rs", 3),
+        ]);
+        let baseline = Baseline::from_report(&report);
+        assert!(baseline.regressions(&report).is_empty());
+        // Fewer warnings than accepted: still clean.
+        let smaller = report_with(vec![warn("R2", "a.rs", 1)]);
+        assert!(baseline.regressions(&smaller).is_empty());
+        // One more in a known file: regression.
+        let bigger = report_with(vec![
+            warn("R2", "a.rs", 1),
+            warn("R2", "a.rs", 2),
+            warn("R2", "a.rs", 5),
+            warn("R2", "b.rs", 3),
+        ]);
+        let regs = baseline.regressions(&bigger);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].current, 3);
+        assert_eq!(regs[0].accepted, 2);
+    }
+
+    #[test]
+    fn errors_never_enter_the_baseline() {
+        let mut d = warn("R1", "a.rs", 1);
+        d.severity = Severity::Error;
+        let baseline = Baseline::from_report(&report_with(vec![d]));
+        assert!(baseline.warnings.is_empty());
+    }
+
+    #[test]
+    fn baseline_round_trips_through_disk() {
+        let report = report_with(vec![warn("R2", "a.rs", 1)]);
+        let baseline = Baseline::from_report(&report);
+        let dir = std::env::temp_dir().join("hc-analyze-baseline-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("baseline.json");
+        baseline.save(&path).expect("save");
+        let back = Baseline::load(&path).expect("load");
+        assert_eq!(back, baseline);
+        assert!(Baseline::load(&dir.join("missing.json")).is_err());
+    }
+}

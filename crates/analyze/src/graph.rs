@@ -1,0 +1,306 @@
+//! Workspace symbol/use graph: every parsed function becomes a node,
+//! call edges are resolved by name (over-approximating where the
+//! receiver type is unknown), and reachability is a plain BFS.
+//!
+//! Over-approximation is deliberate: a method call `.play(…)` links to
+//! *every* `play` defined in an impl or trait, so a rule running on the
+//! reachable set can miss nothing that name resolution could actually
+//! bind — at the cost of occasionally visiting an unrelated same-named
+//! function. Edges into *barrier* methods are cut by the caller (used
+//! for the serial hub sections of the shard engines, which the
+//! per-shard RNG discipline deliberately does not cover).
+
+use crate::parse::{FieldDef, FnDef, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One analyzed file, as the graph sees it.
+#[derive(Debug)]
+pub struct SourceUnit {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: String,
+    /// Code channel, one entry per line.
+    pub code: Vec<String>,
+    /// Parsed items.
+    pub parsed: ParsedFile,
+}
+
+/// A function node: `(file index, fn index within that file)`.
+pub type FnId = (usize, usize);
+
+/// The workspace-wide symbol graph.
+#[derive(Debug)]
+pub struct SymbolGraph {
+    fn_by_name: BTreeMap<String, Vec<FnId>>,
+    struct_fields: BTreeMap<String, Vec<FieldDef>>,
+}
+
+impl SymbolGraph {
+    /// Indexes every function and struct across the units.
+    #[must_use]
+    pub fn build(units: &[SourceUnit]) -> Self {
+        let mut fn_by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut struct_fields: BTreeMap<String, Vec<FieldDef>> = BTreeMap::new();
+        for (fi, unit) in units.iter().enumerate() {
+            for (gi, f) in unit.parsed.fns.iter().enumerate() {
+                fn_by_name.entry(f.name.clone()).or_default().push((fi, gi));
+            }
+            for s in &unit.parsed.structs {
+                // First definition wins; struct names are effectively
+                // unique per workspace and fixtures are scanned alone.
+                struct_fields
+                    .entry(s.name.clone())
+                    .or_insert_with(|| s.fields.clone());
+            }
+        }
+        Self {
+            fn_by_name,
+            struct_fields,
+        }
+    }
+
+    /// Fields of a struct by type name, if it was parsed anywhere.
+    #[must_use]
+    pub fn fields_of(&self, ty: &str) -> Option<&[FieldDef]> {
+        self.struct_fields.get(ty).map(Vec::as_slice)
+    }
+
+    /// All functions sharing a name.
+    #[must_use]
+    pub fn fns_named(&self, name: &str) -> &[FnId] {
+        self.fn_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Functions reachable from `roots` by following name-resolved call
+    /// edges, never entering a function whose name is in `barriers`.
+    #[must_use]
+    pub fn reachable(
+        &self,
+        units: &[SourceUnit],
+        roots: &[FnId],
+        barriers: &[&str],
+    ) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = roots.iter().copied().collect();
+        let mut queue: Vec<FnId> = roots.to_vec();
+        while let Some(id) = queue.pop() {
+            for callee in self.callees(units, id, barriers) {
+                if seen.insert(callee) {
+                    queue.push(callee);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Name-resolved call targets of one function body.
+    fn callees(&self, units: &[SourceUnit], id: FnId, barriers: &[&str]) -> Vec<FnId> {
+        let unit = &units[id.0];
+        let f = &unit.parsed.fns[id.1];
+        let Some((start, end)) = f.body else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in &unit.code[start - 1..end.min(unit.code.len())] {
+            for call in calls_in_line(line) {
+                if barriers.contains(&call.name.as_str()) {
+                    continue;
+                }
+                for &(tfi, tgi) in self.fns_named(&call.name) {
+                    let target = &units[tfi].parsed.fns[tgi];
+                    if call_matches(&call, target, tfi == id.0) {
+                        out.push((tfi, tgi));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One syntactic call site.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Called name (`foo` in `foo(…)`, `.foo(…)`, `Ty::foo(…)`).
+    pub name: String,
+    /// Whether it was a `.name(` method call.
+    pub method: bool,
+    /// Explicit `Type::name(` qualifier, if any.
+    pub qualifier: Option<String>,
+}
+
+/// Whether a call site can bind to a candidate definition.
+fn call_matches(call: &CallSite, target: &FnDef, same_file: bool) -> bool {
+    if let Some(q) = &call.qualifier {
+        return target.impl_ty.as_deref() == Some(q.as_str());
+    }
+    if call.method {
+        // Method syntax needs a self receiver on an impl or trait.
+        target.has_self && (target.impl_ty.is_some() || target.trait_name.is_some())
+    } else {
+        // Free calls bind to free functions; cross-file binding is kept
+        // (paths/imports are not tracked precisely enough to prune it),
+        // but same-file free fns are always plausible targets.
+        target.impl_ty.is_none() && target.trait_name.is_none() || same_file
+    }
+}
+
+const KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "let", "fn", "in", "loop", "move", "else", "as",
+];
+
+/// Extracts call sites from one code-channel line.
+#[must_use]
+pub fn calls_in_line(code: &str) -> Vec<CallSite> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'(' || i == 0 {
+            continue;
+        }
+        // Walk back over the identifier directly before `(`.
+        let mut s = i;
+        while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+            s -= 1;
+        }
+        if s == i {
+            continue;
+        }
+        let name = &code[s..i];
+        if name.as_bytes()[0].is_ascii_digit() || KEYWORDS.contains(&name) {
+            continue;
+        }
+        let before = if s > 0 { bytes[s - 1] } else { b' ' };
+        if before == b'!' {
+            // Macro invocation.
+            continue;
+        }
+        let method = before == b'.';
+        let mut qualifier = None;
+        if s >= 2 && &code[s - 2..s] == "::" {
+            let mut q = s - 2;
+            while q > 0 && (bytes[q - 1].is_ascii_alphanumeric() || bytes[q - 1] == b'_') {
+                q -= 1;
+            }
+            let qual = &code[q..s - 2];
+            if qual.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                qualifier = Some(qual.to_string());
+            }
+        }
+        out.push(CallSite {
+            name: name.to_string(),
+            method,
+            qualifier,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse_items;
+
+    fn unit(rel_path: &str, src: &str) -> SourceUnit {
+        let lexed = lex(src);
+        let code: Vec<String> = lexed.iter().map(|l| l.code.clone()).collect();
+        SourceUnit {
+            rel_path: rel_path.to_string(),
+            code,
+            parsed: parse_items(&lexed),
+        }
+    }
+
+    #[test]
+    fn call_extraction_distinguishes_forms() {
+        let calls = calls_in_line("let x = helper(a).finish(); Ty::make(); mac!(b); f(1)");
+        assert_eq!(
+            calls,
+            vec![
+                CallSite {
+                    name: "helper".into(),
+                    method: false,
+                    qualifier: None
+                },
+                CallSite {
+                    name: "finish".into(),
+                    method: true,
+                    qualifier: None
+                },
+                CallSite {
+                    name: "make".into(),
+                    method: false,
+                    qualifier: Some("Ty".into())
+                },
+                CallSite {
+                    name: "f".into(),
+                    method: false,
+                    qualifier: None
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn reachability_follows_calls_and_stops_at_barriers() {
+        let a = unit(
+            "a.rs",
+            "\
+pub struct Engine;
+impl Engine {
+    pub fn drive(&self) {
+        step_one();
+        self.hub_sync();
+    }
+    fn hub_sync(&self) {
+        hub_only();
+    }
+}
+",
+        );
+        let b = unit(
+            "b.rs",
+            "\
+pub fn step_one() {
+    step_two();
+}
+pub fn step_two() {}
+pub fn hub_only() {}
+pub fn unrelated() {}
+",
+        );
+        let units = vec![a, b];
+        let graph = SymbolGraph::build(&units);
+        let drive = graph.fns_named("drive")[0];
+        // No barrier: everything called transitively is reachable.
+        let all = graph.reachable(&units, &[drive], &[]);
+        let names: Vec<&str> = all
+            .iter()
+            .map(|&(fi, gi)| units[fi].parsed.fns[gi].name.as_str())
+            .collect();
+        assert!(names.contains(&"step_two"));
+        assert!(names.contains(&"hub_only"));
+        assert!(!names.contains(&"unrelated"));
+        // Barrier on hub_sync: its callees disappear.
+        let cut = graph.reachable(&units, &[drive], &["hub_sync"]);
+        let names: Vec<&str> = cut
+            .iter()
+            .map(|&(fi, gi)| units[fi].parsed.fns[gi].name.as_str())
+            .collect();
+        assert!(names.contains(&"step_one"));
+        assert!(!names.contains(&"hub_only"));
+    }
+
+    #[test]
+    fn struct_fields_index_by_type_name() {
+        let u = unit(
+            "s.rs",
+            "pub struct Camp { rng: SimRng, plans: DetMap<u64, u32> }\n",
+        );
+        let units = vec![u];
+        let graph = SymbolGraph::build(&units);
+        let fields = graph.fields_of("Camp").expect("fields");
+        assert_eq!(fields[0].ty, "SimRng");
+        assert_eq!(fields[1].ty, "DetMap<u64, u32>");
+        assert!(graph.fields_of("Nope").is_none());
+    }
+}

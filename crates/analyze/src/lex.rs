@@ -1,0 +1,271 @@
+//! Lexical pass: split Rust source into per-line *code* and *comment*
+//! channels so rule text never matches inside string or comment content.
+//!
+//! The state machine understands line/block comments (nested, doc
+//! variants), plain strings with escape sequences, byte strings,
+//! multi-hash raw strings (`r##"…"##`, `br#"…"#`), char literals
+//! (including escaped ones like `'\''` and `'\u{1F600}'`), and
+//! lifetimes. String and char *contents* are blanked from the code
+//! channel; their delimiters remain as token boundaries.
+
+/// One source line after the lexical pass.
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// Code with string/char contents blanked and comments removed.
+    pub code: String,
+    /// Concatenated comment text on this line (without `//` markers).
+    pub comment: String,
+    /// Whether the line starts a doc comment (`///` or `//!`).
+    pub is_doc: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Code,
+    Str,
+    RawStr { hashes: usize },
+    BlockComment { depth: usize, doc: bool },
+}
+
+/// Splits source text into per-line code and comment channels. The code
+/// channel keeps string delimiters (as token boundaries) but blanks
+/// their contents; comments go to the comment channel.
+pub fn lex(source: &str) -> Vec<LexedLine> {
+    let mut lines = Vec::new();
+    let mut state = LexState::Code;
+    for raw_line in source.split('\n') {
+        let mut line = LexedLine::default();
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                LexState::Code => match c {
+                    '/' if next == Some('/') => {
+                        let rest: String = chars[i..].iter().collect();
+                        line.is_doc |= rest.starts_with("///") || rest.starts_with("//!");
+                        let text = rest.trim_start_matches('/').trim_start_matches('!');
+                        line.comment.push_str(text);
+                        i = chars.len();
+                    }
+                    '/' if next == Some('*') => {
+                        let rest: String = chars[i..].iter().collect();
+                        let doc = rest.starts_with("/**") || rest.starts_with("/*!");
+                        state = LexState::BlockComment { depth: 1, doc };
+                        i += 2;
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = LexState::Str;
+                        i += 1;
+                    }
+                    'r' if next == Some('"') || next == Some('#') => {
+                        // Possible raw string: r"..." or r#"..."# with any
+                        // number of hashes.
+                        let mut j = i + 1;
+                        let mut hashes = 0;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            line.code.push_str("r\"");
+                            state = LexState::RawStr { hashes };
+                            i = j + 1;
+                        } else {
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal closes with a
+                        // quote one or two chars later (escapes aside).
+                        if next == Some('\\') {
+                            // Escaped char literal: the escaped character
+                            // itself may be a quote (`'\''`), so the scan
+                            // for the closing quote starts *after* it.
+                            let mut j = i + 3;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            line.code.push_str("' '");
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("' '");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep as code.
+                            line.code.push(c);
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                },
+                LexState::Str => match c {
+                    '\\' => i += 2,
+                    '"' => {
+                        line.code.push('"');
+                        state = LexState::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                LexState::RawStr { hashes } => {
+                    if c == '"' {
+                        let closed = (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                        if closed {
+                            line.code.push('"');
+                            state = LexState::Code;
+                            i += 1 + hashes;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                LexState::BlockComment { depth, doc } => {
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            state = LexState::Code;
+                        } else {
+                            state = LexState::BlockComment {
+                                depth: depth - 1,
+                                doc,
+                            };
+                        }
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = LexState::BlockComment {
+                            depth: depth + 1,
+                            doc,
+                        };
+                        i += 2;
+                    } else {
+                        line.is_doc |= doc;
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if let LexState::BlockComment { doc, .. } = state {
+            line.is_doc |= doc;
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(source: &str) -> Vec<String> {
+        lex(source).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn plain_strings_are_blanked_with_escapes() {
+        let code = code_of(r#"let s = "call .unwrap() on a HashMap";"#);
+        assert_eq!(code, vec![r#"let s = "";"#]);
+        // An escaped quote does not terminate the string.
+        let code = code_of(r#"let s = "say \".unwrap()\" loudly"; x();"#);
+        assert_eq!(code, vec![r#"let s = ""; x();"#]);
+        // An escaped backslash before the closing quote does terminate it.
+        let code = code_of(r#"let s = "tail\\"; y();"#);
+        assert_eq!(code, vec![r#"let s = ""; y();"#]);
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let code = code_of(r#"let b = b"thread_rng inside bytes";"#);
+        assert_eq!(code, vec![r#"let b = b"";"#]);
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes_are_blanked() {
+        let code = code_of(r####"let s = r"no hash .expect(";"####);
+        assert_eq!(code, vec![r#"let s = r"";"#]);
+        let code = code_of(r####"let s = r#".unwrap() "quoted" inside"#;"####);
+        assert_eq!(code, vec![r#"let s = r"";"#]);
+        // Two hashes: a `"#` inside the string must NOT close it.
+        let code = code_of(r####"let s = r##"has "# inside .unwrap()"##;"####);
+        assert_eq!(code, vec![r#"let s = r"";"#]);
+        // Raw byte string.
+        let code = code_of(r####"let s = br#"HashMap bytes"#;"####);
+        assert_eq!(code, vec![r#"let s = br"";"#]);
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let code = code_of("let s = r#\"line one .unwrap()\nline two HashMap\"#; f();");
+        assert_eq!(code, vec!["let s = r\"", "\"; f();"]);
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let code = code_of("let c = 'x'; f();");
+        assert_eq!(code, vec!["let c = ' '; f();"]);
+        // Escaped char literals, including the escaped quote itself.
+        let code = code_of(r"let c = '\n'; f();");
+        assert_eq!(code, vec!["let c = ' '; f();"]);
+        let code = code_of(r"let c = '\''; g('a');");
+        assert_eq!(code, vec!["let c = ' '; g(' ');"]);
+        let code = code_of(r"let c = '\\'; g();");
+        assert_eq!(code, vec!["let c = ' '; g();"]);
+        let code = code_of(r"let c = '\u{1F600}'; h();");
+        assert_eq!(code, vec!["let c = ' '; h();"]);
+    }
+
+    #[test]
+    fn lifetimes_stay_in_code() {
+        let code = code_of("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(code, vec!["fn f<'a>(x: &'a str) -> &'a str { x }"]);
+    }
+
+    #[test]
+    fn line_comments_go_to_the_comment_channel() {
+        let lexed = lex("x(); // trailing .unwrap() note\n// full-line HashMap note");
+        assert_eq!(lexed[0].code, "x(); ");
+        assert_eq!(lexed[0].comment, " trailing .unwrap() note");
+        assert_eq!(lexed[1].code, "");
+        assert!(lexed[1].comment.contains("full-line HashMap note"));
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let lexed = lex("/// summary\n//! module doc\n// plain");
+        assert!(lexed[0].is_doc);
+        assert!(lexed[1].is_doc);
+        assert!(!lexed[2].is_doc);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let lexed = lex("a(); /* outer /* inner .unwrap() */ still comment */ b();");
+        assert_eq!(lexed[0].code, "a();  b();");
+        assert!(lexed[0].comment.contains("inner .unwrap()"));
+        // Multi-line block comment.
+        let lexed = lex("a(); /* spans\nlines HashMap */ b();");
+        assert_eq!(lexed[0].code, "a(); ");
+        assert_eq!(lexed[1].code, " b();");
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_content() {
+        let code = code_of(r#"let s = "// not a comment"; f();"#);
+        assert_eq!(code, vec![r#"let s = ""; f();"#]);
+        let code = code_of(r#"let s = "/* not open"; g();"#);
+        assert_eq!(code, vec![r#"let s = ""; g();"#]);
+    }
+
+    #[test]
+    fn string_markers_inside_comments_are_content() {
+        let lexed = lex("f(); // has a \" quote\ng();");
+        assert_eq!(lexed[0].code, "f(); ");
+        assert_eq!(lexed[1].code, "g();");
+    }
+}

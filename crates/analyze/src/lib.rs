@@ -2,11 +2,17 @@
 //! workspace's Rust sources, enforcing the project's determinism and
 //! panic-safety invariants with `file:line` diagnostics.
 //!
-//! The scanner is a hand-rolled line/token pass (no `syn`): a character
-//! state machine first blanks out string contents and removes comments
-//! (so neither can false-match a rule), then per-line rule checks run on
-//! the code-only text. Test modules (`#[cfg(test)]`), `tests/`,
-//! `benches/` and doc examples are exempt from the library-only rules.
+//! The pass has three layers (still no `syn`):
+//!
+//! 1. **Lexical** ([`lex`]): a character state machine splits every
+//!    line into code and comment channels so rule text never matches
+//!    inside string or comment content.
+//! 2. **Item** ([`parse`]): a lightweight parser extracts functions
+//!    (with parameters, impl/trait context, and exact body ranges),
+//!    structs (with typed fields), and `use` imports.
+//! 3. **Semantic** ([`graph`] + [`rules`]): parsed items feed a
+//!    workspace-wide symbol graph; name-resolved call edges give the
+//!    reachability sets that the flow-aware rules (R1, R2) run on.
 //!
 //! # Rules
 //!
@@ -14,13 +20,15 @@
 //! |----|----------|-------|-----------|
 //! | D1 | error | library crates | no wall-clock / OS entropy (`SystemTime`, `Instant::now`, `thread_rng`, `rand::random`, `std::env`) |
 //! | D2 | error | library crates | no `HashMap`/`HashSet` (iteration-order nondeterminism); use `hc_collect::DetMap`/`DetSet` or `BTreeMap`/`BTreeSet` |
-//! | D3 | error | library crates | no ad-hoc threading (`std::thread`, `crossbeam`, mpsc channels) outside `hc-sim::par` — all parallelism goes through the replication pool |
+//! | D3 | error | library crates | no ad-hoc threading (`std::thread`, `crossbeam`, mpsc channels) outside `hc-sim::par`/`shard` — all parallelism goes through the sanctioned engines |
 //! | P1 | error | library crates | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` or computed-index slicing |
 //! | O1 | error | library crates | no `println!`/`eprintln!`/`dbg!` — library code emits through `hc-obs`; only the `hc-obs` sink modules may write output |
 //! | H1 | error | whole workspace | no `unsafe` code |
 //! | H2 | error | `hc-core` | every `pub` item carries a doc comment |
+//! | R1 | error | shard/task-reachable code | every RNG derives from `indexed_stream`/`indexed_child`; no un-indexed sources, cloned streams, or struct-stored RNG state |
+//! | R2 | warning | library crates | `DetMap`/`DetSet` insertion-order iteration must not flow into serialization, obs sinks, or `f64` accumulation — use `iter_sorted()` or a justified allow |
 //! | A1 | error | everywhere | `hc-analyze: allow(...)` must carry a justification |
-//! | A2 | warning | everywhere | an allow comment whose rule never fires on its line is stale |
+//! | W1 | error | everywhere | an allow comment that no longer suppresses a live diagnostic is stale — the allowlist can only shrink |
 //!
 //! A violation is suppressed by a justified allow comment on the same
 //! line or the line directly above:
@@ -29,7 +37,19 @@
 //! // hc-analyze: allow(P1): index is guarded by the `rank == 0` branch
 //! let lo = self.cdf[rank - 1];
 //! ```
+//!
+//! Warning-severity findings (R2) ratchet through
+//! `results/analyze_baseline.json` (see [`baseline`]): they may exist,
+//! but their per-file count can never grow.
 
+pub mod baseline;
+pub mod graph;
+mod lex;
+pub mod parse;
+mod rules;
+
+use graph::SourceUnit;
+use lex::{lex, LexedLine};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -61,14 +81,16 @@ const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
 pub enum Severity {
     /// Invariant violation: fails `hc-analyze check`.
     Error,
-    /// Advisory: reported but does not affect the exit code.
+    /// Advisory: reported and ratcheted via the baseline, but does not
+    /// fail a plain check.
     Warning,
 }
 
 /// One finding, anchored to a file and 1-based line.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic {
-    /// Rule id (`D1`, `D2`, `D3`, `P1`, `O1`, `H1`, `H2`, `A1`, `A2`).
+    /// Rule id (`D1`, `D2`, `D3`, `P1`, `O1`, `H1`, `H2`, `R1`, `R2`,
+    /// `A1`, `W1`).
     pub rule: String,
     /// Error or warning.
     pub severity: Severity,
@@ -122,6 +144,15 @@ impl Report {
             .filter(|d| d.severity == Severity::Error)
             .count()
     }
+
+    /// Count of warning-severity diagnostics.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -168,158 +199,6 @@ pub fn classify(rel_path: &str) -> FileKind {
 }
 
 // ---------------------------------------------------------------------------
-// Lexical pass: strip strings and comments
-// ---------------------------------------------------------------------------
-
-/// One source line after the lexical pass.
-#[derive(Debug, Clone, Default)]
-struct LexedLine {
-    /// Code with string/char contents blanked and comments removed.
-    code: String,
-    /// Concatenated comment text on this line (without `//` markers).
-    comment: String,
-    /// Whether the line starts a doc comment (`///` or `//!`).
-    is_doc: bool,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LexState {
-    Code,
-    Str,
-    RawStr { hashes: usize },
-    BlockComment { depth: usize, doc: bool },
-}
-
-/// Splits source text into per-line code and comment channels. The code
-/// channel keeps string delimiters (as token boundaries) but blanks
-/// their contents; comments go to the comment channel.
-fn lex(source: &str) -> Vec<LexedLine> {
-    let mut lines = Vec::new();
-    let mut state = LexState::Code;
-    for raw_line in source.split('\n') {
-        let mut line = LexedLine::default();
-        let chars: Vec<char> = raw_line.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            let c = chars[i];
-            let next = chars.get(i + 1).copied();
-            match state {
-                LexState::Code => match c {
-                    '/' if next == Some('/') => {
-                        let rest: String = chars[i..].iter().collect();
-                        line.is_doc |= rest.starts_with("///") || rest.starts_with("//!");
-                        let text = rest.trim_start_matches('/').trim_start_matches('!');
-                        line.comment.push_str(text);
-                        i = chars.len();
-                    }
-                    '/' if next == Some('*') => {
-                        let rest: String = chars[i..].iter().collect();
-                        let doc = rest.starts_with("/**") || rest.starts_with("/*!");
-                        state = LexState::BlockComment { depth: 1, doc };
-                        i += 2;
-                    }
-                    '"' => {
-                        line.code.push('"');
-                        state = LexState::Str;
-                        i += 1;
-                    }
-                    'r' if next == Some('"') || next == Some('#') => {
-                        // Possible raw string: r"..." or r#"..."#.
-                        let mut j = i + 1;
-                        let mut hashes = 0;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            line.code.push_str("r\"");
-                            state = LexState::RawStr { hashes };
-                            i = j + 1;
-                        } else {
-                            line.code.push(c);
-                            i += 1;
-                        }
-                    }
-                    '\'' => {
-                        // Char literal vs lifetime: a literal closes with a
-                        // quote one or two chars later (escapes aside).
-                        if next == Some('\\') {
-                            // Escaped char literal: skip to closing quote.
-                            let mut j = i + 2;
-                            while j < chars.len() && chars[j] != '\'' {
-                                j += 1;
-                            }
-                            line.code.push_str("' '");
-                            i = j + 1;
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            line.code.push_str("' '");
-                            i += 3;
-                        } else {
-                            // Lifetime: keep as code.
-                            line.code.push(c);
-                            i += 1;
-                        }
-                    }
-                    _ => {
-                        line.code.push(c);
-                        i += 1;
-                    }
-                },
-                LexState::Str => match c {
-                    '\\' => i += 2,
-                    '"' => {
-                        line.code.push('"');
-                        state = LexState::Code;
-                        i += 1;
-                    }
-                    _ => i += 1,
-                },
-                LexState::RawStr { hashes } => {
-                    if c == '"' {
-                        let closed = (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#'));
-                        if closed {
-                            line.code.push('"');
-                            state = LexState::Code;
-                            i += 1 + hashes;
-                            continue;
-                        }
-                    }
-                    i += 1;
-                }
-                LexState::BlockComment { depth, doc } => {
-                    if c == '*' && next == Some('/') {
-                        if depth == 1 {
-                            state = LexState::Code;
-                        } else {
-                            state = LexState::BlockComment {
-                                depth: depth - 1,
-                                doc,
-                            };
-                        }
-                        i += 2;
-                    } else if c == '/' && next == Some('*') {
-                        state = LexState::BlockComment {
-                            depth: depth + 1,
-                            doc,
-                        };
-                        i += 2;
-                    } else {
-                        line.is_doc |= doc;
-                        line.comment.push(c);
-                        i += 1;
-                    }
-                }
-            }
-        }
-        if let LexState::BlockComment { doc, .. } = state {
-            line.is_doc |= doc;
-        }
-        lines.push(line);
-    }
-    lines
-}
-
-// ---------------------------------------------------------------------------
 // Allow directives
 // ---------------------------------------------------------------------------
 
@@ -327,7 +206,12 @@ fn lex(source: &str) -> Vec<LexedLine> {
 struct Allow {
     rule: String,
     justified: bool,
+    /// Line the directive itself sits on (where A1/W1 anchor).
     line: usize,
+    /// Code line the directive guards (its own line for trailing
+    /// comments, the next code line for standalone ones; 0 when no
+    /// code line follows).
+    guard_line: usize,
     used: bool,
 }
 
@@ -347,6 +231,7 @@ fn parse_allows(comment: &str, line: usize) -> Vec<Allow> {
             rule,
             justified,
             line,
+            guard_line: line,
             used: false,
         });
         rest = tail;
@@ -534,18 +419,40 @@ fn check_h1(code: &str) -> Option<String> {
 }
 
 // ---------------------------------------------------------------------------
-// File analysis
+// File scan (phase 1: per-line findings + allow directives)
 // ---------------------------------------------------------------------------
 
-/// Analyzes one file's source text under the given classification,
-/// appending diagnostics to `report`.
-pub fn analyze_source(source: &str, rel_path: &str, kind: FileKind, report: &mut Report) {
-    let lexed = lex(source);
+/// One candidate finding before allow resolution.
+#[derive(Debug, Clone)]
+pub(crate) struct Finding {
+    pub(crate) rule: &'static str,
+    pub(crate) severity: Severity,
+    pub(crate) line: usize,
+    pub(crate) message: String,
+}
+
+/// Everything phase 1 learns about one file.
+struct FileScan {
+    kind: FileKind,
+    findings: Vec<Finding>,
+    allows: Vec<Allow>,
+    /// Per line: whether it sits inside a `#[cfg(test)]` module.
+    test_lines: Vec<bool>,
+}
+
+/// Lexes one file and runs the per-line rules, collecting findings and
+/// allow directives without resolving them against each other.
+fn scan_file(lexed: &[LexedLine], rel_path: &str, kind: FileKind) -> FileScan {
     let library = matches!(kind, FileKind::Library { .. });
     let core = matches!(kind, FileKind::Library { core: true });
 
+    let mut scan = FileScan {
+        kind,
+        findings: Vec::new(),
+        allows: Vec::new(),
+        test_lines: vec![false; lexed.len()],
+    };
     let mut pending_allows: Vec<Allow> = Vec::new();
-    let mut all_allows: Vec<Allow> = Vec::new();
     let mut depth: i64 = 0;
     let mut test_mod_depth: Option<i64> = None;
     let mut macro_depth: Option<i64> = None;
@@ -570,7 +477,10 @@ pub fn analyze_source(source: &str, rel_path: &str, kind: FileKind, report: &mut
             has_doc |= line.is_doc;
             continue;
         }
-        line_allows.append(&mut pending_allows);
+        for mut a in pending_allows.drain(..) {
+            a.guard_line = lineno;
+            line_allows.push(a);
+        }
 
         // Track #[cfg(test)] module spans so test code is exempt from
         // the library-only rules.
@@ -609,43 +519,50 @@ pub fn analyze_source(source: &str, rel_path: &str, kind: FileKind, report: &mut
         } else if !code.starts_with("#[") && !code.is_empty() {
             pending_cfg_test = false;
         }
+        scan.test_lines[idx] = in_test_mod || test_mod_depth.is_some();
 
         // H2 doc-state machine: docs survive attribute lines, anything
         // else resets them.
         let is_attr = code.starts_with("#[") || code.starts_with("#![");
         let lib_rules_apply = library && !in_test_mod;
 
-        let mut findings: Vec<(&str, Severity, String)> = Vec::new();
+        let mut push = |rule: &'static str, message: String| {
+            scan.findings.push(Finding {
+                rule,
+                severity: Severity::Error,
+                line: lineno,
+                message,
+            });
+        };
         if lib_rules_apply {
             if let Some(m) = check_d1(&line.code) {
-                findings.push(("D1", Severity::Error, m));
+                push("D1", m);
             }
             if let Some(m) = check_d2(&line.code) {
-                findings.push(("D2", Severity::Error, m));
+                push("D2", m);
             }
             if !d3_exempt(rel_path) {
                 if let Some(m) = check_d3(&line.code) {
-                    findings.push(("D3", Severity::Error, m));
+                    push("D3", m);
                 }
             }
             if let Some(m) = check_p1(&line.code) {
-                findings.push(("P1", Severity::Error, m));
+                push("P1", m);
             }
             if !o1_exempt(rel_path) {
                 if let Some(m) = check_o1(&line.code) {
-                    findings.push(("O1", Severity::Error, m));
+                    push("O1", m);
                 }
             }
         }
         if let Some(m) = check_h1(&line.code) {
-            findings.push(("H1", Severity::Error, m));
+            push("H1", m);
         }
         if core && !in_test_mod && !in_macro && is_undocumented_pub(code, has_doc) {
-            findings.push((
+            push(
                 "H2",
-                Severity::Error,
                 "public item in hc-core lacks a doc comment".to_string(),
-            ));
+            );
         }
 
         if line.is_doc {
@@ -654,50 +571,60 @@ pub fn analyze_source(source: &str, rel_path: &str, kind: FileKind, report: &mut
             has_doc = false;
         }
 
-        // Match findings against this line's allows.
-        for (rule, severity, message) in findings {
-            let allow = line_allows
-                .iter_mut()
-                .find(|a| a.rule.eq_ignore_ascii_case(rule));
-            match allow {
-                Some(a) if a.justified => {
-                    a.used = true;
-                    report.allows_honored += 1;
-                }
-                Some(a) => {
-                    a.used = true;
-                    report.diagnostics.push(Diagnostic {
-                        rule: "A1".to_string(),
-                        severity: Severity::Error,
-                        path: rel_path.to_string(),
-                        line: a.line,
-                        message: format!(
-                            "allow({rule}) requires a justification: `// hc-analyze: allow({rule}): <why this is sound>`"
-                        ),
-                    });
-                }
-                None => report.diagnostics.push(Diagnostic {
-                    rule: rule.to_string(),
-                    severity,
-                    path: rel_path.to_string(),
-                    line: lineno,
-                    message,
-                }),
-            }
-        }
-        all_allows.append(&mut line_allows);
+        scan.allows.append(&mut line_allows);
     }
+    // Trailing standalone allows with no code line after them guard
+    // nothing (guard_line stays on the comment; nothing fires there).
+    scan.allows.append(&mut pending_allows);
+    scan
+}
 
-    // Stale allows: directives that never suppressed anything.
-    all_allows.append(&mut pending_allows);
-    for allow in all_allows.into_iter().filter(|a| !a.used) {
+/// Resolves a file's findings against its allow directives (phase 2),
+/// emitting final diagnostics: suppressions, A1 for unjustified-but-
+/// firing allows, and W1 for stale ones.
+fn resolve_file(rel_path: &str, mut scan: FileScan, report: &mut Report) {
+    for finding in scan.findings {
+        let allow = scan
+            .allows
+            .iter_mut()
+            .find(|a| a.guard_line == finding.line && a.rule.eq_ignore_ascii_case(finding.rule));
+        match allow {
+            Some(a) if a.justified => {
+                a.used = true;
+                report.allows_honored += 1;
+            }
+            Some(a) => {
+                a.used = true;
+                let rule = finding.rule;
+                report.diagnostics.push(Diagnostic {
+                    rule: "A1".to_string(),
+                    severity: Severity::Error,
+                    path: rel_path.to_string(),
+                    line: a.line,
+                    message: format!(
+                        "allow({rule}) requires a justification: `// hc-analyze: allow({rule}): <why this is sound>`"
+                    ),
+                });
+            }
+            None => report.diagnostics.push(Diagnostic {
+                rule: finding.rule.to_string(),
+                severity: finding.severity,
+                path: rel_path.to_string(),
+                line: finding.line,
+                message: finding.message,
+            }),
+        }
+    }
+    // W1: stale allows — directives that no longer suppress a live
+    // diagnostic are errors, so the allowlist can only shrink.
+    for allow in scan.allows.into_iter().filter(|a| !a.used) {
         report.diagnostics.push(Diagnostic {
-            rule: "A2".to_string(),
-            severity: Severity::Warning,
+            rule: "W1".to_string(),
+            severity: Severity::Error,
             path: rel_path.to_string(),
             line: allow.line,
             message: format!(
-                "stale allow({}) — no matching violation on the guarded line",
+                "stale allow({}) — no live diagnostic on the guarded line; delete the comment (the allowlist only shrinks)",
                 allow.rule
             ),
         });
@@ -730,6 +657,67 @@ fn is_public_field(item: &str) -> bool {
     !item[colon..].starts_with("::")
         && !name.is_empty()
         && name.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+// ---------------------------------------------------------------------------
+// Whole-pass drivers
+// ---------------------------------------------------------------------------
+
+/// Runs the full pass (per-line rules, symbol graph, semantic rules,
+/// allow resolution) over in-memory sources given as
+/// `(workspace-relative path, source text)` pairs.
+#[must_use]
+pub fn analyze_sources(files: &[(String, String)]) -> Report {
+    let mut report = Report::default();
+    let mut units: Vec<SourceUnit> = Vec::with_capacity(files.len());
+    let mut scans: Vec<FileScan> = Vec::with_capacity(files.len());
+    for (rel_path, source) in files {
+        let kind = classify(rel_path);
+        let lexed = lex(source);
+        scans.push(scan_file(&lexed, rel_path, kind));
+        units.push(SourceUnit {
+            rel_path: rel_path.clone(),
+            code: lexed.iter().map(|l| l.code.clone()).collect(),
+            parsed: parse::parse_items(&lexed),
+        });
+    }
+    let kinds: Vec<FileKind> = scans.iter().map(|s| s.kind).collect();
+    let test_lines: Vec<Vec<bool>> = scans.iter().map(|s| s.test_lines.clone()).collect();
+    for (fi, finding) in rules::semantic_findings(&units, &kinds, &test_lines) {
+        scans[fi].findings.push(finding);
+    }
+    for (unit, scan) in units.iter().zip(scans) {
+        resolve_file(&unit.rel_path, scan, &mut report);
+    }
+    report.files_scanned = files.len();
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    report
+}
+
+/// Analyzes one file's source text under the given classification,
+/// appending diagnostics to `report`. The semantic rules see only this
+/// file (a single-file symbol graph); [`analyze_sources`] /
+/// [`analyze_workspace`] give them the whole workspace.
+pub fn analyze_source(source: &str, rel_path: &str, kind: FileKind, report: &mut Report) {
+    let lexed = lex(source);
+    let mut scan = scan_file(&lexed, rel_path, kind);
+    scan.kind = kind;
+    let units = [SourceUnit {
+        rel_path: rel_path.to_string(),
+        code: lexed.iter().map(|l| l.code.clone()).collect(),
+        parsed: parse::parse_items(&lexed),
+    }];
+    let kinds = [kind];
+    let test_lines = [scan.test_lines.clone()];
+    for (_, finding) in rules::semantic_findings(&units, &kinds, &test_lines) {
+        scan.findings.push(finding);
+    }
+    resolve_file(rel_path, scan, report);
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
 }
 
 // ---------------------------------------------------------------------------
@@ -773,7 +761,7 @@ pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
 /// Returns an error message when the tree cannot be walked or a source
 /// file cannot be read.
 pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
-    let mut report = Report::default();
+    let mut files = Vec::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -784,13 +772,9 @@ pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
             .join("/");
         let source =
             std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        analyze_source(&source, &rel, classify(&rel), &mut report);
-        report.files_scanned += 1;
+        files.push((rel, source));
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
-    Ok(report)
+    Ok(analyze_sources(&files))
 }
 
 #[cfg(test)]
@@ -979,11 +963,151 @@ fn f(xs: &[u32], i: usize) -> u32 { xs[i - 1] }
     }
 
     #[test]
-    fn stale_allow_is_a_warning() {
+    fn stale_allow_is_a_w1_error() {
         let src = "// hc-analyze: allow(D1): nothing here actually\nfn f() {}\n";
         let r = run(src, LIB);
-        assert_eq!(rules(&r), vec![("A2", 1)]);
-        assert!(!r.has_errors());
+        assert_eq!(rules(&r), vec![("W1", 1)]);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn r1_flags_unindexed_rng_in_shard_reachable_code() {
+        let src = "\
+pub struct Camp { factory: RngFactory }
+impl ShardWorkload for Camp {
+    fn shard_step(&self, sid: u32) -> u64 {
+        let mut rng = self.factory.stream(\"bad\");
+        helper(&mut rng)
+    }
+    fn hub_step(&mut self) -> u64 {
+        let mut rng = self.factory.stream(\"hub-ok\");
+        rng.gen()
+    }
+}
+fn helper(rng: &mut SimRng) -> u64 { rng.gen() }
+";
+        let mut report = Report::default();
+        analyze_source(src, "crates/games/src/shard.rs", LIB, &mut report);
+        // Only the shard_step stream fires; hub_step is behind the barrier.
+        assert_eq!(rules(&report), vec![("R1", 4)]);
+    }
+
+    #[test]
+    fn r1_flags_cloned_and_struct_stored_rngs() {
+        let src = "\
+pub struct Camp { task_rng: SimRng }
+impl ShardWorkload for Camp {
+    fn shard_step(&self, sid: u32) -> u64 {
+        let mut rng = self.task_rng.clone();
+        rng.gen()
+    }
+}
+";
+        let mut report = Report::default();
+        analyze_source(src, "crates/games/src/shard.rs", LIB, &mut report);
+        // Line 4 carries both the struct-stored use and the clone; the
+        // dedup keeps one R1 per (line, rule).
+        assert_eq!(rules(&report), vec![("R1", 4)]);
+    }
+
+    #[test]
+    fn r1_accepts_indexed_streams() {
+        let src = "\
+pub struct Camp { factory: RngFactory }
+impl ShardWorkload for Camp {
+    fn shard_step(&self, sid: u32) -> u64 {
+        let mut rng = self.factory.indexed_stream(\"shard.session\", u64::from(sid));
+        rng.gen()
+    }
+}
+";
+        let mut report = Report::default();
+        analyze_source(src, "crates/games/src/shard.rs", LIB, &mut report);
+        assert_eq!(rules(&report), vec![]);
+    }
+
+    #[test]
+    fn r2_flags_insertion_order_iteration_into_a_sink() {
+        let src = "\
+pub struct Board { scores: DetMap<String, u64> }
+impl Board {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.scores.iter() {
+            out.push_str(&format!(\"{k}={v}\\n\"));
+        }
+        out
+    }
+}
+";
+        let mut report = Report::default();
+        analyze_source(src, "crates/games/src/board.rs", LIB, &mut report);
+        assert_eq!(rules(&report), vec![("R2", 5)]);
+        assert!(!report.has_errors(), "R2 is a ratcheted warning");
+    }
+
+    #[test]
+    fn r2_accepts_sorted_iteration_and_sink_free_flows() {
+        let src = "\
+pub struct Board { scores: DetMap<String, u64> }
+impl Board {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.scores.iter_sorted() {
+            out.push_str(&format!(\"{k}={v}\\n\"));
+        }
+        out
+    }
+    pub fn total(&self) -> u64 {
+        self.scores.values().sum()
+    }
+}
+";
+        let mut report = Report::default();
+        analyze_source(src, "crates/games/src/board.rs", LIB, &mut report);
+        assert_eq!(rules(&report), vec![]);
+    }
+
+    #[test]
+    fn r2_sees_multi_line_method_chains() {
+        let src = "\
+pub struct Board { scores: DetMap<String, u64> }
+impl Board {
+    pub fn render(&self) -> String {
+        let joined: String = self.scores
+            .iter()
+            .map(|(k, v)| format!(\"{k}={v};\"))
+            .collect();
+        joined
+    }
+}
+";
+        let mut report = Report::default();
+        analyze_source(src, "crates/games/src/board.rs", LIB, &mut report);
+        assert_eq!(rules(&report), vec![("R2", 4)]);
+    }
+
+    #[test]
+    fn r2_taint_tracks_let_bindings_until_sorted() {
+        // Collect-then-sort is the sanctioned pattern: no finding.
+        let src = "\
+pub struct Board { scores: DetMap<String, u64> }
+impl Board {
+    pub fn rows(&self) -> Vec<String> {
+        let mut rows: Vec<_> = self.scores.iter().collect();
+        rows.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        rows.iter().map(|(k, v)| format!(\"{k}={v}\")).collect()
+    }
+}
+";
+        let mut report = Report::default();
+        analyze_source(src, "crates/games/src/board.rs", LIB, &mut report);
+        assert_eq!(rules(&report), vec![]);
+        // Without the sort, the formatted use of the binding fires.
+        let src = src.replace("        rows.sort_unstable_by(|a, b| a.0.cmp(b.0));\n", "");
+        let mut report = Report::default();
+        analyze_source(&src, "crates/games/src/board.rs", LIB, &mut report);
+        assert_eq!(rules(&report), vec![("R2", 5)]);
     }
 
     #[test]

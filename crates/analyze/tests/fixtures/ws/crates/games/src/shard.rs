@@ -1,0 +1,55 @@
+//! Fixture: R1 RNG discipline — un-indexed sources, cloned streams,
+//! and struct-stored RNG state in shard-reachable code fire; the
+//! serial hub section stays silent behind the `hub_step` barrier.
+
+pub struct MiniCampaign {
+    factory: RngFactory,
+    hub_rng: SimRng,
+}
+
+impl ShardWorkload for MiniCampaign {
+    fn shard_step(&self, sid: u32) -> u64 {
+        let mut rng = self.factory.stream("session");
+        let dup = rng.clone();
+        spin(&mut rng) + drain(dup) + self.gap(sid)
+    }
+
+    fn hub_step(&mut self) -> u64 {
+        let mut rng = self.factory.stream("matchmaking");
+        rng.gen()
+    }
+}
+
+impl MiniCampaign {
+    fn gap(&self, sid: u32) -> u64 {
+        mix(&self.hub_rng, sid)
+    }
+}
+
+pub struct CleanCampaign {
+    factory: RngFactory,
+}
+
+impl ShardWorkload for CleanCampaign {
+    fn shard_step(&self, sid: u32) -> u64 {
+        let mut rng = self.factory.indexed_stream("shard.session", u64::from(sid));
+        spin(&mut rng)
+    }
+
+    fn hub_step(&mut self) -> u64 {
+        0
+    }
+}
+
+fn spin(rng: &mut SimRng) -> u64 {
+    rng.gen()
+}
+
+fn drain(mut rng: SimRng) -> u64 {
+    rng.gen()
+}
+
+fn mix(rng: &SimRng, sid: u32) -> u64 {
+    let _ = rng;
+    u64::from(sid)
+}

@@ -1,0 +1,40 @@
+//! Fixture: R2 iteration-order sensitivity — insertion-order iteration
+//! flowing into serialization or float accumulation fires; sorted,
+//! justified, and sink-free flows stay silent.
+
+pub struct Aggregate {
+    counts: DetMap<String, u64>,
+    tags: DetSet<String>,
+}
+
+impl Aggregate {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.counts.iter() {
+            out.push_str(&format!("{k}={v}\n"));
+        }
+        out
+    }
+
+    pub fn render_sorted(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.counts.iter_sorted() {
+            out.push_str(&format!("{k}={v}\n"));
+        }
+        out
+    }
+
+    pub fn mean(&self) -> f64 {
+        // hc-analyze: allow(R2): order-insensitive — one round of f64 addition over disjoint keys, fixture-pinned
+        self.counts.values().map(|v| *v as f64).sum::<f64>()
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    pub fn tag_line(&self) -> String {
+        let rows: Vec<&String> = self.tags.iter().collect();
+        rows.iter().map(|r| format!("<{r}>")).collect::<Vec<_>>().join(",")
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the lexer/rule boundary: rule tokens hidden
+//! inside string literals, multi-hash raw strings, (nested) comments,
+//! and behind escaped char literals must never fire a diagnostic — the
+//! lexer strips every quoted and commented channel before rules run.
+
+use hc_analyze::{analyze_source, classify, Report};
+use proptest::prelude::*;
+
+/// A non-core library path: every determinism rule applies, none of the
+/// path exemptions do.
+const LIB_PATH: &str = "crates/games/src/prop_fixture.rs";
+
+fn run(source: &str) -> Report {
+    let mut report = Report::default();
+    analyze_source(source, LIB_PATH, classify(LIB_PATH), &mut report);
+    report
+}
+
+/// Tokens that fire D1/D2/D3/P1/O1/H1/R1/R2 when they appear in library
+/// code. None contain `"`, `\`, or `hc-analyze`, so they embed directly
+/// in string/comment contexts without re-escaping. (The vendored
+/// proptest has no `sample::select`; tests draw an index instead.)
+const RULE_TOKENS: [&str; 17] = [
+    "HashMap::new()",
+    "HashSet::default()",
+    "rand::thread_rng()",
+    "SystemTime::now()",
+    "Instant::now()",
+    "std::thread::spawn(work)",
+    "crossbeam::scope",
+    "xs[i - 1].unwrap()",
+    "value.expect(msg)",
+    "panic!(oops)",
+    "println!(stats)",
+    "dbg!(x)",
+    "unsafe { transmute(x) }",
+    "factory.stream(session)",
+    "rng.clone()",
+    "from_entropy()",
+    "counts.iter()",
+];
+
+proptest! {
+    #[test]
+    fn tokens_in_plain_strings_never_fire(
+        token_idx in 0usize..RULE_TOKENS.len(),
+        pre in "[a-zA-Z0-9 _]{0,12}",
+        post in "[a-zA-Z0-9 _]{0,12}",
+    ) {
+        let token = RULE_TOKENS[token_idx];
+        let mut src = String::from(
+            "//! Prop fixture.\n\npub fn quoted() -> &'static str {\n    let s = \"",
+        );
+        src.push_str(&pre);
+        src.push_str(token);
+        src.push_str(&post);
+        src.push_str("\";\n    s\n}\n");
+        let report = run(&src);
+        prop_assert!(report.diagnostics.is_empty(), "fired: {:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn tokens_in_multi_hash_raw_strings_never_fire(
+        token_idx in 0usize..RULE_TOKENS.len(),
+        hashes in 1usize..4,
+    ) {
+        // Embed a quote followed by one hash fewer than the delimiter:
+        // a lexer that miscounts hashes closes the raw string early and
+        // exposes the token as code.
+        let token = RULE_TOKENS[token_idx];
+        let h = "#".repeat(hashes);
+        let mut src = String::from(
+            "//! Prop fixture.\n\npub fn raw() -> &'static str {\n    r",
+        );
+        src.push_str(&h);
+        src.push('"');
+        src.push_str(token);
+        src.push_str(" \"");
+        src.push_str(&"#".repeat(hashes - 1));
+        src.push_str(" tail\"");
+        src.push_str(&h);
+        src.push_str("\n}\n");
+        let report = run(&src);
+        prop_assert!(report.diagnostics.is_empty(), "fired: {:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn tokens_in_nested_comments_never_fire(
+        token_idx in 0usize..RULE_TOKENS.len(),
+        depth in 1usize..4,
+    ) {
+        let token = RULE_TOKENS[token_idx];
+        let mut src = String::from("//! Prop fixture.\n\n// prose: ");
+        src.push_str(token);
+        src.push('\n');
+        for _ in 0..depth {
+            src.push_str("/* ");
+        }
+        src.push_str(token);
+        for _ in 0..depth {
+            src.push_str(" */");
+        }
+        src.push_str("\npub fn quiet() -> u32 {\n    0\n}\n");
+        let report = run(&src);
+        prop_assert!(report.diagnostics.is_empty(), "fired: {:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn char_literals_do_not_desync_the_lexer(
+        token_idx in 0usize..RULE_TOKENS.len(),
+        char_idx in 0usize..8,
+    ) {
+        let token = RULE_TOKENS[token_idx];
+        let c = ['a', 'Z', '9', '_', '\\', '\'', '\n', '\t'][char_idx];
+        // An escaped char literal ('\'', '\\') that is mis-lexed leaves
+        // the lexer inside a bogus string state, which would expose the
+        // following quoted token as code.
+        let lit = match c {
+            '\\' => "'\\\\'".to_string(),
+            '\'' => "'\\''".to_string(),
+            '\n' => "'\\n'".to_string(),
+            '\t' => "'\\t'".to_string(),
+            other => format!("'{other}'"),
+        };
+        let mut src = String::from("//! Prop fixture.\n\npub fn chars() -> char {\n    let q = ");
+        src.push_str(&lit);
+        src.push_str(";\n    let _s = \"");
+        src.push_str(token);
+        src.push_str("\";\n    q\n}\n");
+        let report = run(&src);
+        prop_assert!(report.diagnostics.is_empty(), "fired: {:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn allow_text_inside_strings_is_not_an_annotation(filler in "[a-z ]{0,10}") {
+        // If the allow were parsed out of the string it would be stale
+        // (no diagnostic on the guarded line) and fire W1.
+        let mut src = String::from("//! Prop fixture.\n\npub fn s() -> &'static str {\n    \"");
+        src.push_str(&filler);
+        src.push_str("hc-analyze: allow(D1): not a real annotation\"\n}\n");
+        let report = run(&src);
+        prop_assert!(report.diagnostics.is_empty(), "fired: {:?}", report.diagnostics);
+        prop_assert_eq!(report.allows_honored, 0);
+    }
+}

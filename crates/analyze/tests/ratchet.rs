@@ -1,0 +1,156 @@
+//! The findings ratchet, end to end: a baseline accepts today's
+//! warnings, rejects any synthetically introduced new finding, and only
+//! `--update-baseline` moves the accepted water mark.
+
+use hc_analyze::baseline::Baseline;
+use hc_analyze::{analyze_sources, analyze_workspace};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("ws")
+}
+
+/// One R2 warning (insertion-order render loop), zero errors.
+const BOARD_ONE_WARNING: &str = "\
+//! Temp fixture: a leaderboard with one order-sensitive render.
+
+pub struct Board {
+    scores: DetMap<String, u64>,
+}
+
+impl Board {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.scores.iter() {
+            out.push_str(&format!(\"{k}={v}\\n\"));
+        }
+        out
+    }
+}
+";
+
+/// The same file after a regression: a second un-sorted iteration.
+const BOARD_TWO_WARNINGS: &str = "\
+//! Temp fixture: a leaderboard with one order-sensitive render.
+
+pub struct Board {
+    scores: DetMap<String, u64>,
+}
+
+impl Board {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.scores.iter() {
+            out.push_str(&format!(\"{k}={v}\\n\"));
+        }
+        out
+    }
+
+    pub fn render_keys(&self) -> String {
+        let mut out = String::new();
+        for k in self.scores.keys() {
+            out.push_str(&format!(\"{k}\\n\"));
+        }
+        out
+    }
+}
+";
+
+#[test]
+fn a_new_finding_is_rejected_against_the_fixture_baseline() {
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    let baseline = Baseline::from_report(&report);
+    assert!(
+        !baseline.warnings.is_empty(),
+        "fixture workspace should contribute R2 warnings to the baseline"
+    );
+    assert!(baseline.regressions(&report).is_empty());
+
+    // Synthetically introduce a new warning in a file the baseline has
+    // never seen: the ratchet must reject it.
+    let sources = vec![(
+        "crates/obs/src/extra.rs".to_string(),
+        BOARD_ONE_WARNING.to_string(),
+    )];
+    let bigger = analyze_sources(&sources);
+    assert_eq!(bigger.warning_count(), 1, "synthetic file must warn once");
+    let regs = baseline.regressions(&bigger);
+    assert_eq!(regs.len(), 1);
+    assert_eq!(regs[0].rule, "R2");
+    assert_eq!(regs[0].path, "crates/obs/src/extra.rs");
+    assert_eq!(regs[0].current, 1);
+    assert_eq!(regs[0].accepted, 0);
+
+    // Updating the baseline to the bigger report accepts it.
+    assert!(Baseline::from_report(&bigger)
+        .regressions(&bigger)
+        .is_empty());
+}
+
+fn run_check(root: &Path, baseline: &Path, update: bool) -> (i32, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_hc-analyze"));
+    cmd.arg("check")
+        .arg("--root")
+        .arg(root)
+        .arg("--baseline")
+        .arg(baseline);
+    if update {
+        cmd.arg("--update-baseline");
+    }
+    let out = cmd.output().expect("run hc-analyze");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn the_cli_ratchet_gates_exit_codes_end_to_end() {
+    let dir = std::env::temp_dir().join("hc-analyze-ratchet-cli-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let src_dir = dir.join("ws").join("crates").join("obs").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    let board = src_dir.join("board.rs");
+    std::fs::write(&board, BOARD_ONE_WARNING).expect("write fixture");
+    let ws = dir.join("ws");
+    let baseline = dir.join("baseline.json");
+
+    // Missing baseline file: usage error, not a silent pass.
+    let (code, text) = run_check(&ws, &baseline, false);
+    assert_eq!(code, 2, "missing baseline must exit 2: {text}");
+    assert!(text.contains("--update-baseline"), "hint missing: {text}");
+
+    // Creating the baseline accepts the standing warning.
+    let (code, text) = run_check(&ws, &baseline, true);
+    assert_eq!(code, 0, "update run must pass: {text}");
+    let accepted = Baseline::load(&baseline).expect("baseline written");
+    assert_eq!(
+        accepted.warnings.get("R2 crates/obs/src/board.rs"),
+        Some(&1)
+    );
+
+    // Same workspace against the fresh baseline: clean.
+    let (code, text) = run_check(&ws, &baseline, false);
+    assert_eq!(code, 0, "accepted warning must pass: {text}");
+
+    // A second un-sorted iteration regresses the ratchet.
+    std::fs::write(&board, BOARD_TWO_WARNINGS).expect("write regression");
+    let (code, text) = run_check(&ws, &baseline, false);
+    assert_eq!(code, 1, "regression must fail: {text}");
+    assert!(
+        text.contains("ratchet[R2]"),
+        "regression not reported: {text}"
+    );
+
+    // Explicitly re-accepting moves the water mark.
+    let (code, text) = run_check(&ws, &baseline, true);
+    assert_eq!(code, 0, "re-accepted run must pass: {text}");
+    let (code, _) = run_check(&ws, &baseline, false);
+    assert_eq!(code, 0);
+}

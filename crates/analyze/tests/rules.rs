@@ -35,8 +35,13 @@ fn planted_violations_fire_exactly() {
         ("O1", "crates/games/src/o1.rs", 9),
         ("P1", "crates/games/src/p1.rs", 4),
         ("P1", "crates/games/src/p1.rs", 8),
+        ("R1", "crates/games/src/shard.rs", 12),
+        ("R1", "crates/games/src/shard.rs", 13),
+        ("R1", "crates/games/src/shard.rs", 25),
+        ("R2", "crates/obs/src/agg.rs", 13),
+        ("R2", "crates/obs/src/agg.rs", 38),
         ("A1", "crates/sim/src/allowed.rs", 13),
-        ("A2", "crates/sim/src/allowed.rs", 16),
+        ("W1", "crates/sim/src/allowed.rs", 16),
         ("D1", "crates/sim/src/d1.rs", 4),
         ("D1", "crates/sim/src/d1.rs", 9),
     ]
@@ -114,8 +119,9 @@ fn the_obs_sink_path_is_exempt_from_o1() {
 fn justified_allows_suppress_and_are_counted() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
     // allowed.rs plants two justified P1 allows (standalone-above and
-    // trailing forms); both violations must be suppressed.
-    assert_eq!(report.allows_honored, 2);
+    // trailing forms) and agg.rs one justified R2 allow; all three
+    // violations must be suppressed.
+    assert_eq!(report.allows_honored, 3);
     let allowed_p1 = report
         .diagnostics
         .iter()
@@ -127,15 +133,22 @@ fn justified_allows_suppress_and_are_counted() {
 fn severity_split_matches_rule_contract() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
     assert!(report.has_errors());
-    // Only the stale-allow advisory is a warning; everything else gates.
+    // Only R2 is ratchet-managed warning severity; everything else —
+    // including the stale-allow audit W1 — gates as an error.
     let warnings: Vec<_> = report
         .diagnostics
         .iter()
         .filter(|d| d.severity == Severity::Warning)
         .collect();
-    assert_eq!(warnings.len(), 1);
-    assert_eq!(warnings[0].rule, "A2");
-    assert_eq!(report.error_count(), report.diagnostics.len() - 1);
+    assert_eq!(warnings.len(), 2);
+    assert!(warnings.iter().all(|d| d.rule == "R2"));
+    let w1 = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "W1")
+        .expect("stale allow must fire W1");
+    assert_eq!(w1.severity, Severity::Error);
+    assert_eq!(report.error_count(), report.diagnostics.len() - 2);
 }
 
 #[test]
@@ -166,7 +179,41 @@ fn det_collections_do_not_trip_d2() {
 }
 
 #[test]
+fn r1_spares_the_hub_barrier_and_indexed_streams() {
+    // fixtures/ws/crates/games/src/shard.rs: `hub_step` draws a plain
+    // stream (line 18) behind the barrier, and CleanCampaign derives an
+    // indexed stream (line 35); neither may fire, while the un-indexed
+    // shard-side draws do.
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    let r1_lines: Vec<usize> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "R1")
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(r1_lines, vec![12, 13, 25]);
+    assert!(!r1_lines.contains(&18), "hub barrier leaked into R1");
+    assert!(!r1_lines.contains(&35), "indexed_stream misflagged");
+}
+
+#[test]
+fn r2_spares_sorted_justified_and_sink_free_iteration() {
+    // fixtures/ws/crates/obs/src/agg.rs: `iter_sorted()` (line 21), the
+    // justified allow(R2) (guarding line 29), and the sink-free
+    // `total()` (line 33) stay silent; the raw render loop and the
+    // let-tainted tag join fire as warnings.
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    let r2: Vec<(usize, Severity)> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "R2" && d.path.contains("agg.rs"))
+        .map(|d| (d.line, d.severity))
+        .collect();
+    assert_eq!(r2, vec![(13, Severity::Warning), (38, Severity::Warning)]);
+}
+
+#[test]
 fn files_scanned_counts_every_fixture() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
-    assert_eq!(report.files_scanned, 14);
+    assert_eq!(report.files_scanned, 16);
 }

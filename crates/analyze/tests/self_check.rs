@@ -1,0 +1,34 @@
+//! The analyzer must hold itself to its own rules: a full workspace
+//! walk from the repo root may not produce any error, and no diagnostic
+//! at all may point into `crates/analyze/`.
+
+use hc_analyze::analyze_workspace;
+use std::path::PathBuf;
+
+#[test]
+fn the_analyzer_is_clean_under_its_own_rules() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = analyze_workspace(&root).expect("workspace walk");
+    assert!(
+        report.files_scanned > 100,
+        "workspace walk found only {} files — wrong root?",
+        report.files_scanned
+    );
+    let errors: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == hc_analyze::Severity::Error)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "workspace has analyzer errors: {errors:?}"
+    );
+    let own: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.path.starts_with("crates/analyze/"))
+        .collect();
+    assert!(own.is_empty(), "the analyzer fired on itself: {own:?}");
+}
