@@ -30,6 +30,13 @@
 //! | A1 | error | everywhere | `hc-analyze: allow(...)` must carry a justification |
 //! | W1 | error | everywhere | an allow comment that no longer suppresses a live diagnostic is stale — the allowlist can only shrink |
 //!
+//! Path-based exemptions: the sanctioned parallelism engines
+//! (`hc-sim::par`/`shard`) are exempt from D3, the `hc-obs` sink
+//! modules from O1, and the `hc-serve` socket front shim
+//! ([`serve_front_exempt`]) from D1/D3/O1 — it sits outside the
+//! determinism boundary by design. The `hc-serve` service core is a
+//! library crate under the full rule set.
+//!
 //! A violation is suppressed by a justified allow comment on the same
 //! line or the line directly above:
 //!
@@ -57,7 +64,7 @@ use std::path::{Path, PathBuf};
 /// Library crates whose code must be deterministic and panic-free.
 /// `hc-bench` and `hc-analyze` are tool crates: they may read the OS
 /// environment and abort on broken invariants.
-const LIBRARY_CRATES: [&str; 8] = [
+const LIBRARY_CRATES: [&str; 9] = [
     "sim",
     "collect",
     "core",
@@ -66,6 +73,7 @@ const LIBRARY_CRATES: [&str; 8] = [
     "captcha",
     "aggregate",
     "obs",
+    "serve",
 ];
 
 /// Path fragments never scanned: external stand-ins, build output, VCS
@@ -271,6 +279,17 @@ pub fn d3_exempt(rel_path: &str) -> bool {
         || rel_path.starts_with("crates/sim/src/par/")
         || rel_path == "crates/sim/src/shard.rs"
         || rel_path.starts_with("crates/sim/src/shard/")
+}
+
+/// The `hc-serve` socket front shim: the one sanctioned crossing of the
+/// determinism boundary. It blocks on real sockets, so wall-clock,
+/// threads, and stderr diagnostics are unavoidable there — D1, D3, and
+/// O1 are waived for this path only. The service core
+/// (`crates/serve/src/service.rs`, `wire.rs`) gets no such pass: every
+/// decision it makes must replay byte-for-byte from the request log.
+#[must_use]
+pub fn serve_front_exempt(rel_path: &str) -> bool {
+    rel_path == "crates/serve/src/front.rs" || rel_path.starts_with("crates/serve/src/front/")
 }
 
 /// O1: direct console output. Library code must emit structured
@@ -534,14 +553,17 @@ fn scan_file(lexed: &[LexedLine], rel_path: &str, kind: FileKind) -> FileScan {
                 message,
             });
         };
+        let front_shim = serve_front_exempt(rel_path);
         if lib_rules_apply {
-            if let Some(m) = check_d1(&line.code) {
-                push("D1", m);
+            if !front_shim {
+                if let Some(m) = check_d1(&line.code) {
+                    push("D1", m);
+                }
             }
             if let Some(m) = check_d2(&line.code) {
                 push("D2", m);
             }
-            if !d3_exempt(rel_path) {
+            if !d3_exempt(rel_path) && !front_shim {
                 if let Some(m) = check_d3(&line.code) {
                     push("D3", m);
                 }
@@ -549,7 +571,7 @@ fn scan_file(lexed: &[LexedLine], rel_path: &str, kind: FileKind) -> FileScan {
             if let Some(m) = check_p1(&line.code) {
                 push("P1", m);
             }
-            if !o1_exempt(rel_path) {
+            if !o1_exempt(rel_path) && !front_shim {
                 if let Some(m) = check_o1(&line.code) {
                     push("O1", m);
                 }
@@ -1115,6 +1137,8 @@ impl Board {
         assert_eq!(classify("crates/core/src/jobs.rs"), CORE);
         assert_eq!(classify("crates/sim/src/rng.rs"), LIB);
         assert_eq!(classify("crates/obs/src/collector.rs"), LIB);
+        assert_eq!(classify("crates/serve/src/service.rs"), LIB);
+        assert_eq!(classify("crates/serve/tests/lifecycle.rs"), FileKind::Test);
         assert_eq!(classify("crates/bench/src/lib.rs"), FileKind::Tool);
         assert_eq!(classify("crates/analyze/src/main.rs"), FileKind::Tool);
         assert_eq!(classify("crates/sim/tests/props.rs"), FileKind::Test);
@@ -1122,6 +1146,20 @@ impl Board {
         assert_eq!(classify("src/lib.rs"), LIB);
         assert_eq!(classify("tests/properties.rs"), FileKind::Test);
         assert_eq!(classify("examples/quickstart.rs"), FileKind::Tool);
+    }
+
+    #[test]
+    fn the_serve_front_shim_is_exempt_from_io_rules() {
+        let shim = "fn f() { let t = std::time::SystemTime::now(); \
+                    std::thread::spawn(|| 0); eprintln!(\"bind\"); let _ = t; }\n";
+        let mut report = Report::default();
+        analyze_source(shim, "crates/serve/src/front.rs", LIB, &mut report);
+        assert_eq!(rules(&report), vec![]);
+        // The service core gets no such pass: the same line fires all
+        // three rules there.
+        let mut report = Report::default();
+        analyze_source(shim, "crates/serve/src/service.rs", LIB, &mut report);
+        assert_eq!(rules(&report), vec![("D1", 1), ("D3", 1), ("O1", 1)]);
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! Fixture: D1 — wall-clock time in the hc-serve service core.
+
+pub fn stamp_response() -> u128 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap_or_default().as_millis()
+}

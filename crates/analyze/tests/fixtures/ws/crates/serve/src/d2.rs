@@ -1,0 +1,12 @@
+//! Fixture: D2 — hash collections in the hc-serve session table.
+
+use std::collections::HashMap;
+
+/// Maps players to sessions with nondeterministic iteration order.
+pub fn session_table(pairs: &[(u64, u64)]) -> usize {
+    let mut table: HashMap<u64, u64> = HashMap::new();
+    for (player, session) in pairs {
+        table.insert(*player, *session);
+    }
+    table.len()
+}

@@ -1,0 +1,6 @@
+//! Fixture: D3 — ad-hoc threading in the hc-serve request path.
+
+pub fn spawn_worker() {
+    let handle = std::thread::spawn(|| 2 + 2);
+    let _ = handle.join();
+}

@@ -1,0 +1,10 @@
+//! Mirrors the real `hc-serve` socket front shim: the one sanctioned
+//! crossing of the determinism boundary, so D1/D3/O1 must stay silent
+//! here while the same tokens fire anywhere else in the crate.
+
+pub fn accept_loop() {
+    let started = std::time::SystemTime::now();
+    let worker = std::thread::spawn(|| 0u32);
+    let _ = (started, worker.join());
+    eprintln!("listener down");
+}

@@ -1,0 +1,36 @@
+//! Fixture: R1 — un-indexed RNG in shard-reachable hc-serve load
+//! replay fires; the per-client indexed stream stays silent.
+
+pub struct ServeCampaign {
+    factory: RngFactory,
+}
+
+impl ShardWorkload for ServeCampaign {
+    fn shard_step(&self, sid: u32) -> u64 {
+        let mut rng = self.factory.stream("serve.traffic");
+        step(&mut rng)
+    }
+
+    fn hub_step(&mut self) -> u64 {
+        0
+    }
+}
+
+pub struct IndexedServeCampaign {
+    factory: RngFactory,
+}
+
+impl ShardWorkload for IndexedServeCampaign {
+    fn shard_step(&self, sid: u32) -> u64 {
+        let mut rng = self.factory.indexed_stream("serve.client", u64::from(sid));
+        step(&mut rng)
+    }
+
+    fn hub_step(&mut self) -> u64 {
+        0
+    }
+}
+
+fn step(rng: &mut SimRng) -> u64 {
+    rng.gen()
+}

@@ -40,6 +40,11 @@ fn planted_violations_fire_exactly() {
         ("R1", "crates/games/src/shard.rs", 25),
         ("R2", "crates/obs/src/agg.rs", 13),
         ("R2", "crates/obs/src/agg.rs", 38),
+        ("D1", "crates/serve/src/d1.rs", 4),
+        ("D2", "crates/serve/src/d2.rs", 3),
+        ("D2", "crates/serve/src/d2.rs", 7),
+        ("D3", "crates/serve/src/d3.rs", 4),
+        ("R1", "crates/serve/src/shard.rs", 10),
         ("A1", "crates/sim/src/allowed.rs", 13),
         ("W1", "crates/sim/src/allowed.rs", 16),
         ("D1", "crates/sim/src/d1.rs", 4),
@@ -183,17 +188,52 @@ fn r1_spares_the_hub_barrier_and_indexed_streams() {
     // fixtures/ws/crates/games/src/shard.rs: `hub_step` draws a plain
     // stream (line 18) behind the barrier, and CleanCampaign derives an
     // indexed stream (line 35); neither may fire, while the un-indexed
-    // shard-side draws do.
+    // shard-side draws do. fixtures/ws/crates/serve/src/shard.rs adds
+    // the hc-serve load-replay case: its un-indexed stream (line 10)
+    // fires, its per-client indexed stream (line 25) does not.
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
-    let r1_lines: Vec<usize> = report
+    let games_r1: Vec<usize> = report
         .diagnostics
         .iter()
-        .filter(|d| d.rule == "R1")
+        .filter(|d| d.rule == "R1" && d.path.contains("games/"))
         .map(|d| d.line)
         .collect();
-    assert_eq!(r1_lines, vec![12, 13, 25]);
-    assert!(!r1_lines.contains(&18), "hub barrier leaked into R1");
-    assert!(!r1_lines.contains(&35), "indexed_stream misflagged");
+    assert_eq!(games_r1, vec![12, 13, 25]);
+    assert!(!games_r1.contains(&18), "hub barrier leaked into R1");
+    assert!(!games_r1.contains(&35), "indexed_stream misflagged");
+    let serve_r1: Vec<usize> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "R1" && d.path.contains("serve/"))
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(serve_r1, vec![10]);
+}
+
+#[test]
+fn the_serve_front_shim_path_is_exempt_from_io_rules() {
+    // fixtures/ws/crates/serve/src/front.rs uses wall-clock time, a
+    // spawned thread, and stderr, mirroring the real socket shim; the
+    // path-based exemption must keep it silent while d1.rs/d3.rs in the
+    // same crate still fire.
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.path.contains("serve/src/front.rs")),
+        "a rule fired on the exempt front-shim path: {:?}",
+        report.diagnostics
+    );
+    for rule in ["D1", "D2", "D3"] {
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.path.contains("serve/") && d.rule == rule),
+            "{rule} must still fire inside the hc-serve service core"
+        );
+    }
 }
 
 #[test]
@@ -215,5 +255,5 @@ fn r2_spares_sorted_justified_and_sink_free_iteration() {
 #[test]
 fn files_scanned_counts_every_fixture() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
-    assert_eq!(report.files_scanned, 16);
+    assert_eq!(report.files_scanned, 21);
 }

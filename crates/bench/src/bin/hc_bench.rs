@@ -3,7 +3,7 @@
 //! ```text
 //! hc-bench compare --determinism A.json B.json
 //! hc-bench compare --baseline BASE.json --current CUR.json \
-//!                  [--max-slowdown X] [--min-speedup Y]
+//!                  [--max-slowdown X] [--min-speedup Y] [--max-p99-slowdown Z]
 //! hc-bench compare --sweep-threads 1,2,4,8 --out OUT.json -- CMD [ARGS...]
 //! hc-bench trace summary TRACE.jsonl
 //! hc-bench trace export-chrome TRACE.jsonl OUT.json
@@ -16,7 +16,10 @@
 //!   slower than the baseline (machine-portable, for committed
 //!   baselines); `--min-speedup Y` fails when the raw wall-clock
 //!   speedup of current over baseline is below `Y` (same-machine, for
-//!   `--threads 1` vs `--threads N` runs);
+//!   `--threads 1` vs `--threads N` runs); `--max-p99-slowdown Z` fails
+//!   when the calibration-normalized p99 request latency (from the
+//!   `hc-load` harness's `timing.latency` section) is more than `Z`×
+//!   the baseline's;
 //! * `--sweep-threads` runs the *same* experiment command once per
 //!   thread count (appending `--threads N --bench-json TMP` to `CMD`),
 //!   verifies every run's deterministic sections agree, and writes one
@@ -29,13 +32,15 @@
 //!
 //! Exit status: 0 pass, 1 check failed, 2 usage/IO error.
 
-use hc_bench::compare::{determinism_diff, load_bench_json, merge_sweep, perf_compare};
+use hc_bench::compare::{
+    determinism_diff, load_bench_json, merge_sweep, p99_compare, perf_compare,
+};
 use hc_bench::trace::{load_trace, summarize};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: hc-bench compare --determinism A B
-       hc-bench compare --baseline BASE --current CUR [--max-slowdown X] [--min-speedup Y]
+       hc-bench compare --baseline BASE --current CUR [--max-slowdown X] [--min-speedup Y] [--max-p99-slowdown Z]
        hc-bench compare --sweep-threads 1,2,4,8 --out OUT -- CMD [ARGS...]
        hc-bench trace summary TRACE
        hc-bench trace export-chrome TRACE OUT";
@@ -168,6 +173,7 @@ fn main() -> ExitCode {
     let mut current: Option<PathBuf> = None;
     let mut max_slowdown: Option<f64> = None;
     let mut min_speedup: Option<f64> = None;
+    let mut max_p99_slowdown: Option<f64> = None;
 
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
@@ -209,6 +215,10 @@ fn main() -> ExitCode {
             "--min-speedup" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(x) => min_speedup = Some(x),
                 None => return usage_error("--min-speedup requires a number"),
+            },
+            "--max-p99-slowdown" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(x) => max_p99_slowdown = Some(x),
+                None => return usage_error("--max-p99-slowdown requires a number"),
             },
             other => return usage_error(&format!("unknown argument `{other}`")),
         }
@@ -301,6 +311,24 @@ fn main() -> ExitCode {
             failed = true;
         } else {
             println!("speedup meets the {floor}x floor");
+        }
+    }
+    if let Some(limit) = max_p99_slowdown {
+        match p99_compare(&base, &cur) {
+            Ok(slowdown) => {
+                if slowdown > limit {
+                    eprintln!(
+                        "P99 LATENCY REGRESSION: normalized p99 slowdown {slowdown:.3}x exceeds the {limit}x budget"
+                    );
+                    failed = true;
+                } else {
+                    println!("p99 slowdown {slowdown:.3}x within the {limit}x budget");
+                }
+            }
+            Err(e) => {
+                eprintln!("hc-bench: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
     if failed {

@@ -1,0 +1,144 @@
+//! `hc-load` — the deterministic load generator for `hc-serve`.
+//!
+//! ```text
+//! hc-load [--seed N] [--threads N] [--clients N] [--steps N]
+//!         [--rounds-per-session N] [--smoke]
+//!         [--bench-json PATH] [--response-log PATH]
+//! ```
+//!
+//! Replays `hc-crowd` behavior as request traffic against one
+//! `hc_serve::Service` (see `hc_bench::load`). The response log and the
+//! bench JSON's `results` section are byte-identical at any
+//! `--threads`; `timing` records p50/p99 request latency and the
+//! per-wave saturation curve. CI runs `--smoke` at 1 and 4 threads,
+//! diffs the logs, and gates latency against a frozen baseline.
+//!
+//! Exit status: 0 success, 1 run failed, 2 usage error.
+
+use hc_bench::load::{run_load, LoadOpts};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: hc-load [--seed N] [--threads N] [--clients N] [--steps N]
+               [--rounds-per-session N] [--smoke]
+               [--bench-json PATH] [--response-log PATH]";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+enum Parsed {
+    Opts(Box<LoadOpts>),
+    Bad(String),
+}
+
+fn parse_args(args: &[String]) -> Parsed {
+    let mut opts = LoadOpts::default();
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .ok_or_else(|| format!("{name} requires a non-negative integer"))
+        };
+        match arg.as_str() {
+            "--seed" => match num("--seed") {
+                Ok(v) => opts.seed = v,
+                Err(e) => return Parsed::Bad(e),
+            },
+            "--threads" => match num("--threads") {
+                Ok(v) if v >= 1 => opts.threads = v as usize,
+                _ => return Parsed::Bad("--threads requires an integer >= 1".to_string()),
+            },
+            "--clients" => match num("--clients") {
+                Ok(v) if v >= 2 => opts.clients = v as usize,
+                _ => return Parsed::Bad("--clients requires an integer >= 2".to_string()),
+            },
+            "--steps" => match num("--steps") {
+                Ok(v) if v >= 1 => opts.steps = v as usize,
+                _ => return Parsed::Bad("--steps requires an integer >= 1".to_string()),
+            },
+            "--rounds-per-session" => match num("--rounds-per-session") {
+                Ok(v) if v >= 1 => opts.rounds_per_session = v as u32,
+                _ => {
+                    return Parsed::Bad("--rounds-per-session requires an integer >= 1".to_string())
+                }
+            },
+            "--smoke" => smoke = true,
+            "--bench-json" => match it.next() {
+                Some(p) => opts.bench_json = Some(PathBuf::from(p)),
+                None => return Parsed::Bad("--bench-json requires a path".to_string()),
+            },
+            "--response-log" => match it.next() {
+                Some(p) => opts.response_log = Some(PathBuf::from(p)),
+                None => return Parsed::Bad("--response-log requires a path".to_string()),
+            },
+            other => return Parsed::Bad(format!("unknown argument `{other}`")),
+        }
+    }
+    if smoke {
+        opts = opts.smoke();
+    }
+    Parsed::Opts(Box::new(opts))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Parsed::Opts(o) => *o,
+        Parsed::Bad(e) => return usage_error(&e),
+    };
+
+    let outcome = match run_load(&opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("hc-load: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let s = &outcome.summary;
+    println!(
+        "requests {}   sessions {}/{} opened/closed   rounds {}   matched {}   promoted {}   errors {}",
+        s.requests, s.sessions_opened, s.sessions_closed, s.rounds_resolved, s.matched, s.promoted,
+        s.errors
+    );
+    println!(
+        "response log: {} lines, fnv64 {}",
+        s.response_log_lines, s.response_log_fnv64
+    );
+    let mut sorted = outcome.timing.latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    println!(
+        "latency: p50 {:.1}us  p99 {:.1}us  over {} requests   wall {:.3}s",
+        hc_bench::load::percentile(&sorted, 0.5) * 1e6,
+        hc_bench::load::percentile(&sorted, 0.99) * 1e6,
+        sorted.len(),
+        outcome.timing.total_wall_secs
+    );
+
+    if let Some(path) = &opts.response_log {
+        if let Err(e) = std::fs::write(path, &outcome.response_log) {
+            eprintln!("hc-load: write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+        eprintln!("response log written to {}", path.display());
+    }
+    if let Some(path) = &opts.bench_json {
+        let rendered = match outcome.to_bench_json(&opts) {
+            Ok(v) => v.to_string(),
+            Err(e) => {
+                eprintln!("hc-load: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, rendered + "\n") {
+            eprintln!("hc-load: write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+        eprintln!("bench JSON written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

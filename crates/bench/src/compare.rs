@@ -147,6 +147,36 @@ pub fn perf_compare(baseline: &Value, current: &Value) -> Result<PerfComparison,
     })
 }
 
+/// Reads `timing.latency.p99_secs` from a load-harness bench JSON.
+fn p99_secs(v: &Value, which: &str) -> Result<f64, String> {
+    let p99 = v
+        .get("timing")
+        .and_then(|t| t.get("latency"))
+        .and_then(|l| l.get("p99_secs"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{which}: no `timing.latency.p99_secs`"))?;
+    if p99 <= 0.0 {
+        return Err(format!("{which}: non-positive p99 ({p99})"));
+    }
+    Ok(p99)
+}
+
+/// Calibration-normalized p99-latency slowdown of `current` over
+/// `baseline` — >1 means requests got slower per unit of machine
+/// speed. Both files need the load harness's `timing.latency` section.
+///
+/// # Errors
+///
+/// Returns a message when either file lacks usable latency or
+/// calibration numbers.
+pub fn p99_compare(baseline: &Value, current: &Value) -> Result<f64, String> {
+    let (_, base_cal) = timing_pair(baseline, "baseline")?;
+    let (_, cur_cal) = timing_pair(current, "current")?;
+    let base_p99 = p99_secs(baseline, "baseline")?;
+    let cur_p99 = p99_secs(current, "current")?;
+    Ok((cur_p99 / cur_cal) / (base_p99 / base_cal))
+}
+
 /// Merges one grid run per thread count into a single sweep JSON.
 ///
 /// The deterministic sections must agree across every run (the whole
@@ -284,6 +314,40 @@ mod tests {
         ];
         let err = merge_sweep(&runs).expect_err("must diverge");
         assert!(err.contains("threads=4 diverges"), "got: {err}");
+    }
+
+    fn with_latency(mut v: Value, p99: f64) -> Value {
+        let latency: Value = serde_json::from_str(&format!(r#"{{"p99_secs":{p99}}}"#))
+            .expect("latency fixture parses");
+        if let Value::Object(fields) = &mut v {
+            for (k, t) in fields.iter_mut() {
+                if k == "timing" {
+                    if let Value::Object(tf) = t {
+                        tf.push(("latency".to_string(), latency));
+                        return v;
+                    }
+                }
+            }
+        }
+        panic!("fixture has no timing object");
+    }
+
+    #[test]
+    fn p99_slowdown_normalizes_by_calibration() {
+        // Baseline machine 2x slower: raw p99 2ms vs 1.5ms is a
+        // normalized slowdown of 1.5.
+        let base = with_latency(bench(1, 10.0, 0.10, 1), 0.002);
+        let cur = with_latency(bench(1, 10.0, 0.05, 1), 0.0015);
+        let slowdown = p99_compare(&base, &cur).expect("latency present");
+        assert!((slowdown - 1.5).abs() < 1e-9, "got {slowdown}");
+    }
+
+    #[test]
+    fn p99_missing_latency_is_an_error() {
+        let base = with_latency(bench(1, 10.0, 0.05, 1), 0.002);
+        let plain = bench(1, 10.0, 0.05, 1);
+        assert!(p99_compare(&base, &plain).is_err());
+        assert!(p99_compare(&plain, &base).is_err());
     }
 
     #[test]

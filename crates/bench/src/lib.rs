@@ -28,6 +28,7 @@
 pub mod cli;
 pub mod compare;
 pub mod grid;
+pub mod load;
 pub mod trace;
 
 pub use cli::RunOpts;

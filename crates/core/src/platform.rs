@@ -375,6 +375,16 @@ impl Platform {
         &self.jobs
     }
 
+    /// Cancels a job, timestamped with the platform's current time.
+    /// Idempotent for jobs that are already completed or cancelled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownJob`] when the job was never opened.
+    pub fn cancel_job(&mut self, id: JobId) -> Result<()> {
+        self.jobs.cancel(id, self.last_event_time)
+    }
+
     /// Advances the platform's notion of time (used to timestamp job
     /// completion; campaigns call it as their clock moves).
     pub fn set_time(&mut self, now: hc_sim::SimTime) {

@@ -19,6 +19,7 @@
 //! | [`games`] | `hc-games` | ESP, TagATune, Verbosity, Peekaboom, Matchin + synthetic worlds |
 //! | [`captcha`] | `hc-captcha` | CAPTCHA, OCR attacker, human reader, reCAPTCHA digitization |
 //! | [`aggregate`] | `hc-aggregate` | majority/weighted voting, agreement threshold, Dawid–Skene EM |
+//! | [`serve`] | `hc-serve` | task-lifecycle service: request/response state machine + socket front |
 //! | [`sim`] | `hc-sim` | DES kernel: virtual time, event queue, RNG streams, distributions, stats |
 //! | [`obs`] | `hc-obs` | sim-time tracing: recording scopes, spans/events, metrics, trace sinks |
 //!
@@ -81,6 +82,12 @@ pub mod captcha {
 /// Label-aggregation baselines.
 pub mod aggregate {
     pub use hc_aggregate::*;
+}
+
+/// The task-lifecycle service: a deterministic request/response state
+/// machine over the platform, plus the TCP line-JSON front shim.
+pub mod serve {
+    pub use hc_serve::*;
 }
 
 /// The discrete-event simulation kernel.
