@@ -1,0 +1,8 @@
+//! Mirrors the real `hc-obs` analyze module: it lives next to the
+//! exempt sink path but returns rendered strings instead of printing,
+//! so O1 must still fire on any direct output planted here.
+
+pub fn render(total_us: u64) -> String {
+    println!("critical path: {total_us} us");
+    format!("critical path: {total_us} us\n")
+}

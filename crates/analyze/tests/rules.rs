@@ -40,6 +40,7 @@ fn planted_violations_fire_exactly() {
         ("R1", "crates/games/src/shard.rs", 25),
         ("R2", "crates/obs/src/agg.rs", 13),
         ("R2", "crates/obs/src/agg.rs", 38),
+        ("O1", "crates/obs/src/analyze.rs", 6),
         ("D1", "crates/serve/src/d1.rs", 4),
         ("D2", "crates/serve/src/d2.rs", 3),
         ("D2", "crates/serve/src/d2.rs", 7),
@@ -116,6 +117,22 @@ fn the_obs_sink_path_is_exempt_from_o1() {
             .iter()
             .any(|d| d.path.contains("obs/src/sink")),
         "O1 fired on the exempt sink path: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn the_obs_sink_exemption_does_not_cover_analyze() {
+    // fixtures/ws/crates/obs/src/analyze.rs prints too, but sits
+    // outside `obs/src/sink`; the exemption is the sink path only, so
+    // the analyze module keeps its O1 coverage.
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.path.contains("obs/src/analyze.rs") && d.rule == "O1"),
+        "O1 stayed silent on the non-exempt analyze module: {:?}",
         report.diagnostics
     );
 }
@@ -255,5 +272,5 @@ fn r2_spares_sorted_justified_and_sink_free_iteration() {
 #[test]
 fn files_scanned_counts_every_fixture() {
     let report = analyze_workspace(&fixture_root()).expect("fixture walk");
-    assert_eq!(report.files_scanned, 21);
+    assert_eq!(report.files_scanned, 22);
 }

@@ -6,6 +6,11 @@
 //!                  [--max-slowdown X] [--min-speedup Y] [--max-p99-slowdown Z]
 //! hc-bench compare --sweep-threads 1,2,4,8 --out OUT.json -- CMD [ARGS...]
 //! hc-bench trace summary TRACE.jsonl
+//! hc-bench trace critical-path TRACE.jsonl
+//! hc-bench trace flame TRACE.jsonl [--top N]
+//! hc-bench trace timeseries TRACE.jsonl [--window US] [--json]
+//! hc-bench trace derive TRACE.jsonl [OUT.json]
+//! hc-bench trace diff BASELINE CURRENT [--max-rel X] [--json]
 //! hc-bench trace export-chrome TRACE.jsonl OUT.json
 //! ```
 //!
@@ -27,15 +32,30 @@
 //!   the speedup over the first count — the scaling curve in one file;
 //! * `trace summary` prints the sim-time span/counter summary of a
 //!   recorded trace (from an experiment's `--trace PATH`);
+//! * `trace critical-path` prints the longest sim-time chain through
+//!   the span tree with per-target self-time attribution;
+//! * `trace flame` prints flamegraph folded stacks (or, with
+//!   `--top N`, the N hottest frames by self time);
+//! * `trace timeseries` prints windowed counter/gauge/histogram
+//!   aggregates over sim-time (text or `--json`);
+//! * `trace derive` writes the derived-metrics summary JSON — the
+//!   deterministic document the CI trace gate freezes and ratchets;
+//! * `trace diff` compares two derived summaries (either summary JSONs
+//!   or raw traces, sniffed) against a relative threshold and exits 1
+//!   on regression — the trace gate's teeth;
 //! * `trace export-chrome` converts a trace to Chrome trace-event JSON
 //!   loadable in Perfetto or `chrome://tracing`.
+//!
+//! The analysis subcommands stream the JSONL input record by record, so
+//! million-record traces never materialize in memory.
 //!
 //! Exit status: 0 pass, 1 check failed, 2 usage/IO error.
 
 use hc_bench::compare::{
     determinism_diff, load_bench_json, merge_sweep, p99_compare, perf_compare,
 };
-use hc_bench::trace::{load_trace, summarize};
+use hc_bench::trace::{derive_summary, load_summary, load_trace, stream_trace, summarize};
+use hc_obs::analyze::{self, SpanTree, TimeSeriesAcc, TreeBuilder};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -43,6 +63,11 @@ const USAGE: &str = "usage: hc-bench compare --determinism A B
        hc-bench compare --baseline BASE --current CUR [--max-slowdown X] [--min-speedup Y] [--max-p99-slowdown Z]
        hc-bench compare --sweep-threads 1,2,4,8 --out OUT -- CMD [ARGS...]
        hc-bench trace summary TRACE
+       hc-bench trace critical-path TRACE
+       hc-bench trace flame TRACE [--top N]
+       hc-bench trace timeseries TRACE [--window US] [--json]
+       hc-bench trace derive TRACE [OUT]
+       hc-bench trace diff BASELINE CURRENT [--max-rel X] [--json]
        hc-bench trace export-chrome TRACE OUT";
 
 fn usage_error(message: &str) -> ExitCode {
@@ -50,35 +75,144 @@ fn usage_error(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+fn io_error(e: &str) -> ExitCode {
+    eprintln!("hc-bench: {e}");
+    ExitCode::from(2)
+}
+
+/// Streams a trace file into its span tree.
+fn build_tree(path: &Path) -> Result<SpanTree, String> {
+    let mut builder = TreeBuilder::new();
+    stream_trace(path, |r| builder.add(r))?;
+    Ok(builder.finish())
+}
+
 fn trace_command(args: &[String]) -> ExitCode {
-    match args {
-        [cmd, path] if cmd == "summary" => match load_trace(Path::new(path)) {
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage_error("expected a trace subcommand");
+    };
+    match (cmd.as_str(), rest) {
+        ("summary", [path]) => match load_trace(Path::new(path)) {
             Ok(trace) => {
                 print!("{}", summarize(&trace));
                 ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("hc-bench: {e}");
-                ExitCode::from(2)
-            }
+            Err(e) => io_error(&e),
         },
-        [cmd, input, output] if cmd == "export-chrome" => {
+        ("critical-path", [path]) => match build_tree(Path::new(path)) {
+            Ok(tree) => {
+                print!("{}", analyze::render_critical_path(&tree));
+                ExitCode::SUCCESS
+            }
+            Err(e) => io_error(&e),
+        },
+        ("flame", [path, flags @ ..]) => {
+            let top = match flags {
+                [] => None,
+                [flag, n] if flag == "--top" => match n.parse::<usize>() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => return usage_error("--top requires a positive count"),
+                },
+                _ => return usage_error("expected `trace flame TRACE [--top N]`"),
+            };
+            match build_tree(Path::new(path)) {
+                Ok(tree) => {
+                    match top {
+                        Some(n) => print!("{}", analyze::render_flame_top(&tree, n)),
+                        None => print!("{}", analyze::render_folded(&tree)),
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => io_error(&e),
+            }
+        }
+        ("timeseries", [path, flags @ ..]) => {
+            let mut window_us = 60_000_000u64;
+            let mut json = false;
+            let mut it = flags.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--window" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                        Some(w) if w > 0 => window_us = w,
+                        _ => return usage_error("--window requires a positive sim-µs length"),
+                    },
+                    "--json" => json = true,
+                    other => return usage_error(&format!("unknown timeseries flag `{other}`")),
+                }
+            }
+            let mut acc = TimeSeriesAcc::new(window_us);
+            match stream_trace(Path::new(path), |r| acc.add(r)) {
+                Ok(_) => {
+                    if json {
+                        print!("{}", acc.render_json());
+                    } else {
+                        print!("{}", acc.render_text());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => io_error(&e),
+            }
+        }
+        ("derive", [path, out @ ..]) if out.len() <= 1 => match derive_summary(Path::new(path)) {
+            Ok(derived) => {
+                let doc = derived.to_json();
+                match out.first() {
+                    Some(out) => {
+                        if let Err(e) = std::fs::write(out, doc) {
+                            return io_error(&format!("write {out}: {e}"));
+                        }
+                        println!("derived summary written to {out}");
+                    }
+                    None => print!("{doc}"),
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => io_error(&e),
+        },
+        ("diff", [base, cur, flags @ ..]) => {
+            let mut max_rel = 0.0f64;
+            let mut json = false;
+            let mut it = flags.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--max-rel" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(x) if x >= 0.0 => max_rel = x,
+                        _ => return usage_error("--max-rel requires a non-negative number"),
+                    },
+                    "--json" => json = true,
+                    other => return usage_error(&format!("unknown diff flag `{other}`")),
+                }
+            }
+            let (baseline, current) =
+                match (load_summary(Path::new(base)), load_summary(Path::new(cur))) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    (Err(e), _) | (_, Err(e)) => return io_error(&e),
+                };
+            let report = analyze::diff(&baseline, &current, max_rel);
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        ("export-chrome", [input, output]) => {
             let trace = match load_trace(Path::new(input)) {
                 Ok(t) => t,
-                Err(e) => {
-                    eprintln!("hc-bench: {e}");
-                    return ExitCode::from(2);
-                }
+                Err(e) => return io_error(&e),
             };
             let rendered = hc_obs::sink::chrome::render(&trace);
             if let Err(e) = std::fs::write(output, rendered) {
-                eprintln!("hc-bench: write {output}: {e}");
-                return ExitCode::from(2);
+                return io_error(&format!("write {output}: {e}"));
             }
             println!("chrome trace written to {output}");
             ExitCode::SUCCESS
         }
-        _ => usage_error("expected `trace summary TRACE` or `trace export-chrome TRACE OUT`"),
+        _ => usage_error("unknown trace subcommand or arguments"),
     }
 }
 

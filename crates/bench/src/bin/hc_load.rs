@@ -3,7 +3,7 @@
 //! ```text
 //! hc-load [--seed N] [--threads N] [--clients N] [--steps N]
 //!         [--rounds-per-session N] [--smoke]
-//!         [--bench-json PATH] [--response-log PATH]
+//!         [--bench-json PATH] [--response-log PATH] [--trace PATH]
 //! ```
 //!
 //! Replays `hc-crowd` behavior as request traffic against one
@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: hc-load [--seed N] [--threads N] [--clients N] [--steps N]
                [--rounds-per-session N] [--smoke]
-               [--bench-json PATH] [--response-log PATH]";
+               [--bench-json PATH] [--response-log PATH] [--trace PATH]";
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("{message}\n{USAGE}");
@@ -75,6 +75,10 @@ fn parse_args(args: &[String]) -> Parsed {
                 Some(p) => opts.response_log = Some(PathBuf::from(p)),
                 None => return Parsed::Bad("--response-log requires a path".to_string()),
             },
+            "--trace" => match it.next() {
+                Some(p) => opts.trace = Some(PathBuf::from(p)),
+                None => return Parsed::Bad("--trace requires a path".to_string()),
+            },
             other => return Parsed::Bad(format!("unknown argument `{other}`")),
         }
     }
@@ -125,6 +129,9 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
         eprintln!("response log written to {}", path.display());
+    }
+    if let Some(path) = &opts.trace {
+        eprintln!("trace written to {}", path.display());
     }
     if let Some(path) = &opts.bench_json {
         let rendered = match outcome.to_bench_json(&opts) {

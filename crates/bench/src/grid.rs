@@ -154,6 +154,7 @@ where
     // index order, so the records below are thread-count-invariant.
     let (raw, trace) = if opts.trace.is_some() {
         let (raw, trace) = hc_obs::record_scope(0, || {
+            hc_obs::name_track(0, "main");
             hc_obs::event(
                 "bench",
                 "grid",

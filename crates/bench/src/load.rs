@@ -52,6 +52,12 @@ pub struct LoadOpts {
     pub bench_json: Option<PathBuf>,
     /// Where to write the JSONL response log, if anywhere.
     pub response_log: Option<PathBuf>,
+    /// Where to write an `hc-obs` JSONL trace of the request/response
+    /// lifecycle, if anywhere. Only the first measurement rep records
+    /// (the replays are byte-identical, so one trace describes all
+    /// three), and recording cannot perturb the run — the rep-divergence
+    /// check proves it on every traced run.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for LoadOpts {
@@ -64,6 +70,7 @@ impl Default for LoadOpts {
             rounds_per_session: 4,
             bench_json: None,
             response_log: None,
+            trace: None,
         }
     }
 }
@@ -441,8 +448,20 @@ struct ScenarioRun {
 pub fn run_load(opts: &LoadOpts) -> Result<LoadOutcome, String> {
     let calibration_secs = crate::grid::calibrate();
     let mut best: Option<ScenarioRun> = None;
-    for _ in 0..MEASURE_REPS {
-        let run = execute(opts)?;
+    for rep in 0..MEASURE_REPS {
+        // Only the designated first rep records; later reps replay the
+        // identical scenario untraced, and the divergence check below
+        // then proves recording never perturbed the run.
+        let run = if rep == 0 && opts.trace.is_some() {
+            let (run, trace) = hc_obs::record_scope(0, || execute(opts));
+            if let Some(path) = &opts.trace {
+                std::fs::write(path, hc_obs::sink::jsonl::render(&trace))
+                    .map_err(|e| format!("write trace {}: {e}", path.display()))?;
+            }
+            run?
+        } else {
+            execute(opts)?
+        };
         best = Some(match best {
             None => run,
             Some(mut acc) => {
@@ -483,6 +502,15 @@ fn execute(opts: &LoadOpts) -> Result<ScenarioRun, String> {
     let vocab = Vocabulary::new(50, 1.07);
 
     let run_clock = Instant::now();
+
+    // Tree instrumentation: the run scope parents every wave scope,
+    // which in turn parents the per-request-type spans the service
+    // emits — all keyed on sim-time, so the trace is a pure function of
+    // the scenario.
+    let run_scope = hc_obs::active().then(|| {
+        hc_obs::name_track(0, "main");
+        hc_obs::enter("load", "run", 0)
+    });
 
     let mut summary = LoadSummary::default();
     let mut log = String::new();
@@ -539,6 +567,7 @@ fn execute(opts: &LoadOpts) -> Result<ScenarioRun, String> {
         .map_err(|e| format!("generation pool: {e}"))?;
 
         // Apply: serial, client-index order, latency per request.
+        let wave_scope = hc_obs::active().then(|| hc_obs::enter("load", "wave", at.ticks()));
         let wave_clock = Instant::now();
         let mut wave_requests = 0u64;
         for (client, request) in generated.iter().enumerate() {
@@ -556,6 +585,23 @@ fn execute(opts: &LoadOpts) -> Result<ScenarioRun, String> {
             wave_requests += 1;
         }
         waves.push((wave_requests, wave_clock.elapsed().as_secs_f64()));
+        if let Some(scope) = wave_scope {
+            scope.exit(
+                at.ticks(),
+                &[
+                    ("step", (step as u64).into()),
+                    ("requests", wave_requests.into()),
+                ],
+            );
+        }
+    }
+
+    if let Some(scope) = run_scope {
+        scope.close(&[
+            ("requests", summary.requests.into()),
+            ("sessions_opened", summary.sessions_opened.into()),
+            ("rounds_resolved", summary.rounds_resolved.into()),
+        ]);
     }
 
     summary.verified_labels = service.platform().verified_labels().len() as u64;

@@ -1,4 +1,5 @@
-//! `hc-bench trace` — load, summarize, and convert recorded traces.
+//! `hc-bench trace` — load, summarize, analyze, and convert recorded
+//! traces.
 //!
 //! An experiment run with `--trace PATH` writes an `hc-obs` JSONL trace;
 //! this module turns that file back into numbers a human can read:
@@ -7,16 +8,24 @@
 //!   sim-time), event counts, the metrics registry, and — when the run
 //!   recorded the `metrics.*` counters — the paper's live throughput and
 //!   ALP derived *from the trace alone*;
-//! * [`load_trace`] — parse a JSONL trace file;
-//! * `export-chrome` (in the `hc-bench` binary) uses
-//!   `hc_obs::sink::chrome` to produce a Perfetto-loadable file.
+//! * [`load_trace`] — parse a JSONL trace file into a full [`Trace`]
+//!   (fine for small inputs; `export-chrome` needs the whole thing);
+//! * [`stream_trace`] — fold a JSONL trace record by record without
+//!   materializing the record vector, for the analysis passes
+//!   (`critical-path`, `flame`, `timeseries`, `derive`, `diff` in the
+//!   `hc-bench` binary) whose accumulators are all streaming;
+//! * [`derive_summary`] / [`load_summary`] — the derived-metrics
+//!   summary behind the CI trace-regression gate.
 //!
 //! Everything here reports **sim-time**; the only wall-clock numbers are
 //! the machine-dependent stats, which are labelled as such.
 
-use hc_obs::{RecordData, Trace};
+use hc_obs::analyze::{DeriveAcc, DerivedMetrics};
+use hc_obs::sink::jsonl::Line;
+use hc_obs::{MetricsRegistry, Record, RecordData, Trace};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::BufRead as _;
 use std::path::Path;
 
 /// Loads and parses a JSONL trace file.
@@ -28,6 +37,77 @@ pub fn load_trace(path: &Path) -> Result<Trace, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     hc_obs::sink::jsonl::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The trailing (non-record) sections of a streamed trace.
+#[derive(Debug, Default)]
+pub struct TraceTail {
+    /// Track names from the `tracks` line (empty when absent).
+    pub track_names: BTreeMap<u32, String>,
+    /// The metrics-registry section.
+    pub metrics: MetricsRegistry,
+    /// Machine-dependent stats (wall-clock, worker counts).
+    pub machine: BTreeMap<String, f64>,
+}
+
+/// Streams a JSONL trace file line by line, feeding each record to
+/// `on_record` in file order, and returns the trailing sections. Peak
+/// memory is one line plus whatever `on_record` retains — the analysis
+/// accumulators are all streaming, so million-record traces never need
+/// a `Vec<Record>` in memory.
+///
+/// # Errors
+///
+/// Returns a message naming the file (and line on parse failures).
+pub fn stream_trace(path: &Path, mut on_record: impl FnMut(&Record)) -> Result<TraceTail, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let reader = std::io::BufReader::new(file);
+    let mut tail = TraceTail::default();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read {}: {e}", path.display()))?;
+        match hc_obs::sink::jsonl::parse_line(&line)
+            .map_err(|e| format!("{} line {}: {e}", path.display(), i + 1))?
+        {
+            None => {}
+            Some(Line::Record(r)) => on_record(&r),
+            Some(Line::Tracks(names)) => tail.track_names = names,
+            Some(Line::Metrics(m)) => tail.metrics = m,
+            Some(Line::Machine(m)) => tail.machine = m,
+        }
+    }
+    Ok(tail)
+}
+
+/// Streams a JSONL trace into its derived-metrics summary.
+///
+/// # Errors
+///
+/// Propagates [`stream_trace`] failures.
+pub fn derive_summary(path: &Path) -> Result<DerivedMetrics, String> {
+    let mut acc = DeriveAcc::new();
+    stream_trace(path, |r| acc.add(r))?;
+    Ok(acc.finish())
+}
+
+/// Loads a derived-metrics summary from either a summary JSON written
+/// by `trace derive` (sniffed by its schema marker on the first line)
+/// or a raw JSONL trace, which is derived on the fly.
+///
+/// # Errors
+///
+/// Returns a message naming the file on IO or parse failure.
+pub fn load_summary(path: &Path) -> Result<DerivedMetrics, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut first = String::new();
+    let mut reader = std::io::BufReader::new(file);
+    reader
+        .read_line(&mut first)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    if first.contains("\"hc-trace-derived-v1\"") {
+        DerivedMetrics::from_json(&first).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        derive_summary(path)
+    }
 }
 
 /// Aggregate over all spans sharing one `(target, name)`.
@@ -280,5 +360,38 @@ mod tests {
         let s = summarize(&Trace::new());
         assert!(s.starts_with("trace: 0 records"));
         assert!(!s.contains("spans"));
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hc-bench-trace-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn stream_trace_agrees_with_the_full_parse() {
+        let trace = demo_trace();
+        let path = temp_path("stream");
+        std::fs::write(&path, hc_obs::sink::jsonl::render(&trace)).expect("write temp trace");
+        let mut records = Vec::new();
+        let tail = stream_trace(&path, |r| records.push(r.clone())).expect("stream");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(records, trace.records);
+        assert_eq!(tail.metrics, trace.metrics);
+        assert_eq!(tail.machine, trace.machine);
+        assert_eq!(tail.track_names, trace.track_names);
+    }
+
+    #[test]
+    fn load_summary_sniffs_derived_json_and_raw_traces() {
+        let raw = temp_path("raw");
+        std::fs::write(&raw, hc_obs::sink::jsonl::render(&demo_trace())).expect("write raw");
+        let derived_path = temp_path("derived");
+        let derived = derive_summary(&raw).expect("derive");
+        std::fs::write(&derived_path, derived.to_json()).expect("write derived");
+        let from_raw = load_summary(&raw).expect("summary from raw trace");
+        let from_json = load_summary(&derived_path).expect("summary from derived JSON");
+        let _ = std::fs::remove_file(&raw);
+        let _ = std::fs::remove_file(&derived_path);
+        assert_eq!(from_raw.to_json(), from_json.to_json());
+        assert!(from_raw.to_json().contains("sim/run"));
     }
 }

@@ -408,19 +408,15 @@ impl<D: ShardGame> ShardedCampaign<D> {
             message: "run() may only be called once".to_string(),
         })?;
         let cfg = ShardConfig::new(self.config.threads, self.config.window);
+        // Scope span: the engine's run/window spans and every session
+        // span nest under the campaign. Closed at the sim-time
+        // high-water mark so the last window stays inside it.
+        let campaign = hc_obs::enter("games", "shard.campaign", 0);
         hc_sim::shard::run(&cfg, self, &mut shards)?;
-        if hc_obs::active() {
-            hc_obs::span(
-                "games",
-                "shard.campaign",
-                0,
-                self.config.horizon.ticks(),
-                &[
-                    ("live_sessions", self.live_sessions.into()),
-                    ("solo_sessions", self.solo_sessions.into()),
-                ],
-            );
-        }
+        campaign.close(&[
+            ("live_sessions", self.live_sessions.into()),
+            ("solo_sessions", self.solo_sessions.into()),
+        ]);
         Ok(self.report())
     }
 

@@ -1,0 +1,1343 @@
+//! Trace analysis passes: span trees, critical path, flame folding,
+//! sim-time timeseries and derived-metrics diffing.
+//!
+//! Everything here is a pure function of the record stream, so every
+//! report is deterministic: byte-identical for the same seed at any
+//! `--threads` value. Accumulators ([`DeriveAcc`], [`TimeSeriesAcc`])
+//! consume records one at a time, so callers can fold a JSONL trace
+//! line-by-line in bounded memory; [`SpanTree`] retains the span
+//! records (only) because critical-path and flame analysis need random
+//! access to the tree.
+//!
+//! ## The `layout.` prefix
+//!
+//! Records whose span target or metric name starts with [`LAYOUT_PREFIX`]
+//! describe the *shard layout itself* (per-shard lanes, the skew gauge):
+//! they are deterministic for a given `--shards` value but legitimately
+//! differ across layouts. The derived-metrics summary excludes them, so
+//! derived summaries — and the CI trace gate built on them — compare
+//! byte-identical across shard layouts as well as thread counts. The
+//! timeseries pass keeps them: plotting skew is its job.
+
+use crate::record::{Record, RecordData};
+use crate::sink::{f, obj, s, u};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Prefix marking layout-dependent span targets / metric names, which
+/// the derived-metrics summary excludes (see module docs).
+pub const LAYOUT_PREFIX: &str = "layout.";
+
+fn is_layout(name: &str) -> bool {
+    name.starts_with(LAYOUT_PREFIX)
+}
+
+// ---------------------------------------------------------------------------
+// Span tree
+// ---------------------------------------------------------------------------
+
+/// One span lifted out of the record stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanInfo {
+    /// Track the span was recorded on.
+    pub track: u32,
+    /// Span id (unique within its track; 0 on pre-tree traces).
+    pub id: u64,
+    /// Parent span id on the same track (0 = root).
+    pub parent: u64,
+    /// Emitting subsystem.
+    pub target: String,
+    /// Span name.
+    pub name: String,
+    /// Sim-time start.
+    pub start_us: u64,
+    /// Sim-time duration.
+    pub dur_us: u64,
+}
+
+impl SpanInfo {
+    /// Sim-time end.
+    #[must_use]
+    pub fn end_us(&self) -> u64 {
+        self.start_us.saturating_add(self.dur_us)
+    }
+
+    /// `target/name` — the frame label used by flame and derived
+    /// summaries.
+    #[must_use]
+    pub fn frame(&self) -> String {
+        format!("{}/{}", self.target, self.name)
+    }
+}
+
+/// The span forest of a trace: spans in emission order plus resolved
+/// parent/child links (parents resolve within a track only).
+#[derive(Debug, Default)]
+pub struct SpanTree {
+    /// All spans, in record order.
+    pub spans: Vec<SpanInfo>,
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+}
+
+impl SpanTree {
+    /// Builds the tree from a record stream (non-span records are
+    /// ignored).
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a Record>) -> SpanTree {
+        let mut builder = TreeBuilder::default();
+        for r in records {
+            builder.add(r);
+        }
+        builder.finish()
+    }
+
+    /// Indices of parentless spans, ordered by start time then
+    /// emission order.
+    #[must_use]
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Child indices of span `i`, ordered by start time then emission
+    /// order.
+    #[must_use]
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Per-span self time: duration minus the union of child intervals
+    /// (clipped to the span's own interval).
+    #[must_use]
+    pub fn self_times(&self) -> Vec<u64> {
+        self.spans
+            .iter()
+            .enumerate()
+            .map(|(i, span)| {
+                let intervals: Vec<(u64, u64)> = self.children[i]
+                    .iter()
+                    .map(|&c| (self.spans[c].start_us, self.spans[c].end_us()))
+                    .collect();
+                span.dur_us
+                    .saturating_sub(coverage(&intervals, span.start_us, span.end_us()))
+            })
+            .collect()
+    }
+}
+
+/// Streaming builder for [`SpanTree`] — feed it records, then
+/// [`TreeBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    spans: Vec<SpanInfo>,
+}
+
+impl TreeBuilder {
+    /// A builder with no spans.
+    #[must_use]
+    pub fn new() -> Self {
+        TreeBuilder::default()
+    }
+
+    /// Folds one record in (non-span records are ignored).
+    pub fn add(&mut self, r: &Record) {
+        if let RecordData::Span {
+            target,
+            name,
+            dur_us,
+            id,
+            parent,
+            ..
+        } = &r.data
+        {
+            self.spans.push(SpanInfo {
+                track: r.track,
+                id: *id,
+                parent: *parent,
+                target: target.clone(),
+                name: name.clone(),
+                start_us: r.t_us,
+                dur_us: *dur_us,
+            });
+        }
+    }
+
+    /// Resolves parent links and returns the finished tree.
+    #[must_use]
+    pub fn finish(self) -> SpanTree {
+        let spans = self.spans;
+        let mut index_of: BTreeMap<(u32, u64), usize> = BTreeMap::new();
+        for (i, span) in spans.iter().enumerate() {
+            if span.id != 0 {
+                index_of.insert((span.track, span.id), i);
+            }
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, span) in spans.iter().enumerate() {
+            match index_of.get(&(span.track, span.parent)) {
+                Some(&p) if span.parent != 0 && p != i => children[p].push(i),
+                _ => roots.push(i),
+            }
+        }
+        roots.sort_by_key(|&i| (spans[i].start_us, i));
+        for kids in &mut children {
+            kids.sort_by_key(|&i| (spans[i].start_us, i));
+        }
+        SpanTree {
+            spans,
+            children,
+            roots,
+        }
+    }
+}
+
+/// Total coverage of `[lo, hi]` by the union of `intervals`.
+fn coverage(intervals: &[(u64, u64)], lo: u64, hi: u64) -> u64 {
+    let mut clipped: Vec<(u64, u64)> = intervals
+        .iter()
+        .filter_map(|&(a, b)| {
+            let (a, b) = (a.max(lo), b.min(hi));
+            (a < b).then_some((a, b))
+        })
+        .collect();
+    clipped.sort_unstable();
+    let mut covered = 0;
+    let mut cursor = lo;
+    for (a, b) in clipped {
+        let a = a.max(cursor);
+        if b > a {
+            covered += b - a;
+            cursor = b;
+        }
+    }
+    covered
+}
+
+// ---------------------------------------------------------------------------
+// Critical path
+// ---------------------------------------------------------------------------
+
+/// One step on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpStep {
+    /// Index into [`SpanTree::spans`].
+    pub span: usize,
+    /// Depth below the chosen root (root = 0).
+    pub depth: usize,
+    /// Self time of this span.
+    pub self_us: u64,
+}
+
+/// The longest sim-time chain through the span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Root-to-leaf steps.
+    pub steps: Vec<CpStep>,
+    /// The chosen root's duration — every step lies within it, so no
+    /// chain through the tree is longer.
+    pub total_us: u64,
+}
+
+/// Walks the longest chain: the longest root span, then at each node
+/// the longest child (ties break to earliest start, then emission
+/// order). Returns `None` on a span-free trace.
+#[must_use]
+pub fn critical_path(tree: &SpanTree) -> Option<CriticalPath> {
+    let self_times = tree.self_times();
+    let longest = |candidates: &[usize]| -> Option<usize> {
+        candidates.iter().copied().max_by(|&a, &b| {
+            let ka = (
+                tree.spans[a].dur_us,
+                std::cmp::Reverse(tree.spans[a].start_us),
+            );
+            let kb = (
+                tree.spans[b].dur_us,
+                std::cmp::Reverse(tree.spans[b].start_us),
+            );
+            ka.cmp(&kb).then(b.cmp(&a))
+        })
+    };
+    let root = longest(tree.roots())?;
+    let total_us = tree.spans[root].dur_us;
+    let mut steps = Vec::new();
+    let mut node = root;
+    let mut depth = 0;
+    loop {
+        steps.push(CpStep {
+            span: node,
+            depth,
+            self_us: self_times[node],
+        });
+        match longest(tree.children(node)) {
+            Some(next) => {
+                node = next;
+                depth += 1;
+            }
+            None => break,
+        }
+    }
+    Some(CriticalPath { steps, total_us })
+}
+
+/// Per-target self-time attribution along the critical path, largest
+/// first (ties break by name).
+#[must_use]
+pub fn critical_path_attribution(tree: &SpanTree, cp: &CriticalPath) -> Vec<(String, u64)> {
+    let mut by_target: BTreeMap<&str, u64> = BTreeMap::new();
+    for step in &cp.steps {
+        *by_target
+            .entry(tree.spans[step.span].target.as_str())
+            .or_insert(0) += step.self_us;
+    }
+    let mut out: Vec<(String, u64)> = by_target
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Renders the critical path as a fixed-width text report.
+#[must_use]
+pub fn render_critical_path(tree: &SpanTree) -> String {
+    let mut out = String::new();
+    let Some(cp) = critical_path(tree) else {
+        out.push_str("critical path: no spans in trace\n");
+        return out;
+    };
+    out.push_str(&format!(
+        "critical path: {} us across {} spans\n",
+        cp.total_us,
+        cp.steps.len()
+    ));
+    out.push_str(&format!(
+        "{:<6} {:<36} {:>14} {:>14} {:>14}\n",
+        "depth", "span", "start_us", "dur_us", "self_us"
+    ));
+    for step in &cp.steps {
+        let span = &tree.spans[step.span];
+        out.push_str(&format!(
+            "{:<6} {:<36} {:>14} {:>14} {:>14}\n",
+            step.depth,
+            span.frame(),
+            span.start_us,
+            span.dur_us,
+            step.self_us
+        ));
+    }
+    out.push_str("attribution by target:\n");
+    for (target, self_us) in critical_path_attribution(tree, &cp) {
+        let share = if cp.total_us == 0 {
+            0.0
+        } else {
+            self_us as f64 / cp.total_us as f64 * 100.0
+        };
+        out.push_str(&format!(
+            "{:<24} {:>14} us {:>6.1}%\n",
+            target, self_us, share
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Flame (folded stacks + top-N self time)
+// ---------------------------------------------------------------------------
+
+/// Folds the span tree into flamegraph.pl-style stack lines
+/// (`root;child;leaf self_us`), aggregated and sorted by stack.
+#[must_use]
+pub fn folded_stacks(tree: &SpanTree) -> Vec<(String, u64)> {
+    let self_times = tree.self_times();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    // Depth-first, carrying the stack label down.
+    let mut work: Vec<(usize, String)> = tree
+        .roots()
+        .iter()
+        .rev()
+        .map(|&i| (i, tree.spans[i].frame()))
+        .collect();
+    while let Some((node, stack)) = work.pop() {
+        if self_times[node] > 0 {
+            *folded.entry(stack.clone()).or_insert(0) += self_times[node];
+        }
+        for &child in tree.children(node).iter().rev() {
+            work.push((child, format!("{stack};{}", tree.spans[child].frame())));
+        }
+    }
+    folded.into_iter().collect()
+}
+
+/// Renders folded stacks as the text consumed by flamegraph tooling.
+#[must_use]
+pub fn render_folded(tree: &SpanTree) -> String {
+    let mut out = String::new();
+    for (stack, self_us) in folded_stacks(tree) {
+        out.push_str(&format!("{stack} {self_us}\n"));
+    }
+    out
+}
+
+/// Renders the top-`n` frames by aggregate self time.
+#[must_use]
+pub fn render_flame_top(tree: &SpanTree, n: usize) -> String {
+    let self_times = tree.self_times();
+    let mut by_frame: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+    for (i, span) in tree.spans.iter().enumerate() {
+        let slot = by_frame.entry(span.frame()).or_insert((0, 0, 0));
+        slot.0 += 1;
+        slot.1 += span.dur_us;
+        slot.2 += self_times[i];
+    }
+    let mut rows: Vec<(String, (u64, u64, u64))> = by_frame.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .2.cmp(&a.1 .2).then(a.0.cmp(&b.0)));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<36} {:>10} {:>14} {:>14}\n",
+        "span", "count", "total_us", "self_us"
+    ));
+    for (frame, (count, total, self_us)) in rows.into_iter().take(n) {
+        out.push_str(&format!(
+            "{:<36} {:>10} {:>14} {:>14}\n",
+            frame, count, total, self_us
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Timeseries
+// ---------------------------------------------------------------------------
+
+/// Windowed counter/gauge/histogram aggregation over sim-time.
+/// Counters sum their deltas per window, gauges keep the last level
+/// seen in the window (in record order), histograms keep count and sum.
+#[derive(Debug)]
+pub struct TimeSeriesAcc {
+    window_us: u64,
+    counters: BTreeMap<String, BTreeMap<u64, u64>>,
+    gauges: BTreeMap<String, BTreeMap<u64, f64>>,
+    hists: BTreeMap<String, BTreeMap<u64, (u64, f64)>>,
+}
+
+impl TimeSeriesAcc {
+    /// A fresh accumulator with the given window length (0 is clamped
+    /// to 1).
+    #[must_use]
+    pub fn new(window_us: u64) -> Self {
+        TimeSeriesAcc {
+            window_us: window_us.max(1),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one record in (spans and events are ignored — they belong
+    /// to the tree passes).
+    pub fn add(&mut self, r: &Record) {
+        let w = r.t_us / self.window_us;
+        match &r.data {
+            RecordData::Counter { name, delta } => {
+                *self
+                    .counters
+                    .entry(name.clone())
+                    .or_default()
+                    .entry(w)
+                    .or_insert(0) += delta;
+            }
+            RecordData::Gauge { name, value } => {
+                self.gauges
+                    .entry(name.clone())
+                    .or_default()
+                    .insert(w, *value);
+            }
+            RecordData::Observe { name, value } => {
+                let slot = self
+                    .hists
+                    .entry(name.clone())
+                    .or_default()
+                    .entry(w)
+                    .or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += value;
+            }
+            RecordData::Span { .. } | RecordData::Event { .. } => {}
+        }
+    }
+
+    /// Renders the windowed report as fixed-width text.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("timeseries window={} us\n", self.window_us));
+        for (name, windows) in &self.counters {
+            out.push_str(&format!("counter {name}\n"));
+            for (w, total) in windows {
+                out.push_str(&format!(
+                    "  w{:<6} t={:<16} +{}\n",
+                    w,
+                    w * self.window_us,
+                    total
+                ));
+            }
+        }
+        for (name, windows) in &self.gauges {
+            out.push_str(&format!("gauge {name}\n"));
+            for (w, last) in windows {
+                out.push_str(&format!(
+                    "  w{:<6} t={:<16} {}\n",
+                    w,
+                    w * self.window_us,
+                    last
+                ));
+            }
+        }
+        for (name, windows) in &self.hists {
+            out.push_str(&format!("histogram {name}\n"));
+            for (w, (count, sum)) in windows {
+                let mean = if *count == 0 {
+                    0.0
+                } else {
+                    sum / *count as f64
+                };
+                out.push_str(&format!(
+                    "  w{:<6} t={:<16} count={} mean={}\n",
+                    w,
+                    w * self.window_us,
+                    count,
+                    mean
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the windowed report as a single JSON object.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let windows_obj = |windows: &BTreeMap<u64, Value>| -> Value {
+            Value::Object(
+                windows
+                    .iter()
+                    .map(|(w, v)| (w.to_string(), v.clone()))
+                    .collect(),
+            )
+        };
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(name, ws)| {
+                    let ws: BTreeMap<u64, Value> = ws.iter().map(|(w, v)| (*w, u(*v))).collect();
+                    (name.clone(), windows_obj(&ws))
+                })
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges
+                .iter()
+                .map(|(name, ws)| {
+                    let ws: BTreeMap<u64, Value> = ws.iter().map(|(w, v)| (*w, f(*v))).collect();
+                    (name.clone(), windows_obj(&ws))
+                })
+                .collect(),
+        );
+        let hists = Value::Object(
+            self.hists
+                .iter()
+                .map(|(name, ws)| {
+                    let ws: BTreeMap<u64, Value> = ws
+                        .iter()
+                        .map(|(w, (count, sum))| {
+                            (*w, obj(vec![("count", u(*count)), ("sum", f(*sum))]))
+                        })
+                        .collect();
+                    (name.clone(), windows_obj(&ws))
+                })
+                .collect(),
+        );
+        let doc = obj(vec![
+            ("schema", s("hc-trace-timeseries-v1")),
+            ("window_us", u(self.window_us)),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", hists),
+        ]);
+        let mut out = doc.to_string();
+        out.push('\n');
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derived metrics (summary, serialization, diff)
+// ---------------------------------------------------------------------------
+
+/// Log2-bucket quantile sketch: deterministic, order-independent, and
+/// mergeable — quantile estimates are bucket midpoints, so they carry
+/// at most a 2× relative error, which is plenty for a ratchet gate.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Sketch {
+    /// Samples `<= 0` (and non-finite ones, which should not occur).
+    zeros: u64,
+    /// Positive samples bucketed by binary exponent.
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+}
+
+impl Sketch {
+    fn add(&mut self, v: f64) {
+        self.count += 1;
+        if v > 0.0 && v.is_finite() {
+            // Pure bit math (no libm): the IEEE-754 exponent field.
+            let exp = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+            *self.buckets.entry(exp).or_insert(0) += 1;
+        } else {
+            self.zeros += 1;
+        }
+    }
+
+    /// Nearest-rank quantile estimate: the midpoint `1.5 * 2^exp` of
+    /// the bucket holding the ranked sample.
+    fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = self.zeros;
+        if rank <= seen {
+            return 0.0;
+        }
+        for (exp, n) in &self.buckets {
+            seen += n;
+            if rank <= seen {
+                // 1.5 * 2^exp, built bitwise for determinism.
+                let bits = (((exp + 1023) as u64) << 52) | (1u64 << 51);
+                return f64::from_bits(bits);
+            }
+        }
+        0.0
+    }
+}
+
+/// Aggregate over all spans sharing one `target/name` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanDerived {
+    /// Number of spans.
+    pub count: u64,
+    /// Summed durations.
+    pub total_us: u64,
+    /// Summed self times (duration minus child coverage).
+    pub self_us: u64,
+    /// Longest single span.
+    pub max_us: u64,
+}
+
+/// Aggregate over one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistDerived {
+    /// Sample count.
+    pub count: u64,
+    /// Sample sum.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median estimate (log2-bucket midpoint).
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// Aggregate over one gauge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeDerived {
+    /// Last level, in record order.
+    pub last: f64,
+    /// Smallest level.
+    pub min: f64,
+    /// Largest level.
+    pub max: f64,
+}
+
+/// The derived-metrics summary: every deterministic, layout-invariant
+/// aggregate the trace supports. This is what the CI trace gate
+/// freezes and diffs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DerivedMetrics {
+    /// Span aggregates keyed by `target/name`.
+    pub spans: BTreeMap<String, SpanDerived>,
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge summaries.
+    pub gauges: BTreeMap<String, GaugeDerived>,
+    /// Histogram summaries with quantile estimates.
+    pub histograms: BTreeMap<String, HistDerived>,
+}
+
+#[derive(Debug)]
+struct HistAcc {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    sketch: Sketch,
+}
+
+/// Streaming accumulator for [`DerivedMetrics`]. Feed records in
+/// emission order; memory stays bounded by the number of metric names
+/// plus the currently *open* scope spans (children always precede
+/// their parent in the stream, so child-coverage accumulators retire
+/// as soon as the parent's record arrives).
+#[derive(Debug, Default)]
+pub struct DeriveAcc {
+    spans: BTreeMap<String, SpanDerived>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, GaugeDerived>,
+    hists: BTreeMap<String, HistAcc>,
+    /// `(track, parent id)` → intervals of already-seen children.
+    pending: BTreeMap<(u32, u64), Vec<(u64, u64)>>,
+}
+
+/// Coalesces an interval list in place (sort + merge overlapping).
+fn normalize(intervals: &mut Vec<(u64, u64)>) {
+    intervals.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for &(a, b) in intervals.iter() {
+        match merged.last_mut() {
+            Some((_, hi)) if a <= *hi => *hi = (*hi).max(b),
+            _ => merged.push((a, b)),
+        }
+    }
+    *intervals = merged;
+}
+
+impl DeriveAcc {
+    /// A fresh accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        DeriveAcc::default()
+    }
+
+    /// Folds one record in.
+    pub fn add(&mut self, r: &Record) {
+        match &r.data {
+            RecordData::Span {
+                target,
+                name,
+                dur_us,
+                id,
+                parent,
+                ..
+            } => {
+                let start = r.t_us;
+                let end = start.saturating_add(*dur_us);
+                if *parent != 0 {
+                    let slot = self.pending.entry((r.track, *parent)).or_default();
+                    slot.push((start, end));
+                    if slot.len() >= 1024 {
+                        normalize(slot);
+                    }
+                }
+                let covered = if *id == 0 {
+                    0
+                } else {
+                    self.pending
+                        .remove(&(r.track, *id))
+                        .map(|kids| coverage(&kids, start, end))
+                        .unwrap_or(0)
+                };
+                if is_layout(target) {
+                    return;
+                }
+                let slot = self.spans.entry(format!("{target}/{name}")).or_default();
+                slot.count += 1;
+                slot.total_us += dur_us;
+                slot.self_us += dur_us.saturating_sub(covered);
+                slot.max_us = slot.max_us.max(*dur_us);
+            }
+            RecordData::Counter { name, delta } => {
+                if is_layout(name) {
+                    return;
+                }
+                *self.counters.entry(name.clone()).or_insert(0) += delta;
+            }
+            RecordData::Gauge { name, value } => {
+                if is_layout(name) {
+                    return;
+                }
+                self.gauges
+                    .entry(name.clone())
+                    .and_modify(|g| {
+                        g.last = *value;
+                        g.min = g.min.min(*value);
+                        g.max = g.max.max(*value);
+                    })
+                    .or_insert(GaugeDerived {
+                        last: *value,
+                        min: *value,
+                        max: *value,
+                    });
+            }
+            RecordData::Observe { name, value } => {
+                if is_layout(name) {
+                    return;
+                }
+                let slot = self.hists.entry(name.clone()).or_insert(HistAcc {
+                    count: 0,
+                    sum: 0.0,
+                    min: f64::INFINITY,
+                    max: f64::NEG_INFINITY,
+                    sketch: Sketch::default(),
+                });
+                slot.count += 1;
+                slot.sum += value;
+                slot.min = slot.min.min(*value);
+                slot.max = slot.max.max(*value);
+                slot.sketch.add(*value);
+            }
+            RecordData::Event { .. } => {}
+        }
+    }
+
+    /// Finishes the fold.
+    #[must_use]
+    pub fn finish(self) -> DerivedMetrics {
+        DerivedMetrics {
+            spans: self.spans,
+            counters: self.counters,
+            gauges: self.gauges,
+            histograms: self
+                .hists
+                .into_iter()
+                .map(|(name, h)| {
+                    (
+                        name,
+                        HistDerived {
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                            p50: h.sketch.quantile(0.50),
+                            p90: h.sketch.quantile(0.90),
+                            p99: h.sketch.quantile(0.99),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl DerivedMetrics {
+    /// Serializes to the frozen-baseline JSON document (single object,
+    /// stable key order, trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let spans = Value::Object(
+            self.spans
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        obj(vec![
+                            ("count", u(v.count)),
+                            ("total_us", u(v.total_us)),
+                            ("self_us", u(v.self_us)),
+                            ("max_us", u(v.max_us)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), u(*v)))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        obj(vec![
+                            ("last", f(v.last)),
+                            ("min", f(v.min)),
+                            ("max", f(v.max)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let histograms = Value::Object(
+            self.histograms
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        obj(vec![
+                            ("count", u(v.count)),
+                            ("sum", f(v.sum)),
+                            ("min", f(v.min)),
+                            ("max", f(v.max)),
+                            ("p50", f(v.p50)),
+                            ("p90", f(v.p90)),
+                            ("p99", f(v.p99)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let doc = obj(vec![
+            ("schema", s("hc-trace-derived-v1")),
+            ("spans", spans),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ]);
+        let mut out = doc.to_string();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a document produced by [`DerivedMetrics::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a reason message on malformed or wrong-schema input.
+    pub fn from_json(text: &str) -> Result<DerivedMetrics, String> {
+        let doc: Value = serde_json::from_str(text.trim()).map_err(|e| e.to_string())?;
+        let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != "hc-trace-derived-v1" {
+            return Err(format!("unexpected schema `{schema}`"));
+        }
+        let section = |key: &str| -> Result<&[(String, Value)], String> {
+            doc.get(key)
+                .and_then(Value::as_object)
+                .map(Vec::as_slice)
+                .ok_or_else(|| format!("missing section `{key}`"))
+        };
+        let want_u = |v: &Value, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing integer `{key}`"))
+        };
+        let want_f = |v: &Value, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing number `{key}`"))
+        };
+        let mut out = DerivedMetrics::default();
+        for (k, v) in section("spans")? {
+            out.spans.insert(
+                k.clone(),
+                SpanDerived {
+                    count: want_u(v, "count")?,
+                    total_us: want_u(v, "total_us")?,
+                    self_us: want_u(v, "self_us")?,
+                    max_us: want_u(v, "max_us")?,
+                },
+            );
+        }
+        for (k, v) in section("counters")? {
+            let v = v.as_u64().ok_or_else(|| format!("bad counter `{k}`"))?;
+            out.counters.insert(k.clone(), v);
+        }
+        for (k, v) in section("gauges")? {
+            out.gauges.insert(
+                k.clone(),
+                GaugeDerived {
+                    last: want_f(v, "last")?,
+                    min: want_f(v, "min")?,
+                    max: want_f(v, "max")?,
+                },
+            );
+        }
+        for (k, v) in section("histograms")? {
+            out.histograms.insert(
+                k.clone(),
+                HistDerived {
+                    count: want_u(v, "count")?,
+                    sum: want_f(v, "sum")?,
+                    min: want_f(v, "min")?,
+                    max: want_f(v, "max")?,
+                    p50: want_f(v, "p50")?,
+                    p90: want_f(v, "p90")?,
+                    p99: want_f(v, "p99")?,
+                },
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// One metric whose relative delta exceeded the threshold (or that was
+/// present on only one side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Qualified metric name, e.g. `span:sim.par/task.self_us`.
+    pub metric: String,
+    /// Baseline value (`NaN` when missing).
+    pub baseline: f64,
+    /// Current value (`NaN` when missing).
+    pub current: f64,
+    /// Relative delta `|a - b| / max(|a|, |b|)`; infinite when a side
+    /// is missing.
+    pub rel: f64,
+}
+
+/// Outcome of a derived-metrics comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Number of scalar metrics compared.
+    pub checked: usize,
+    /// The relative threshold used.
+    pub max_rel: f64,
+    /// Metrics over threshold, in name order.
+    pub failures: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// True when every metric stayed within the threshold.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the human-readable verdict.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.failures {
+            out.push_str(&format!(
+                "  {} baseline={} current={} rel={}\n",
+                e.metric, e.baseline, e.current, e.rel
+            ));
+        }
+        out.push_str(&format!(
+            "trace diff: {} metrics checked, {} over threshold (max-rel {}) -> {}\n",
+            self.checked,
+            self.failures.len(),
+            self.max_rel,
+            if self.passed() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+
+    /// Renders the machine-readable verdict.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let failures = Value::Array(
+            self.failures
+                .iter()
+                .map(|e| {
+                    obj(vec![
+                        ("metric", s(&e.metric)),
+                        ("baseline", f(e.baseline)),
+                        ("current", f(e.current)),
+                        ("rel", f(e.rel)),
+                    ])
+                })
+                .collect(),
+        );
+        let doc = obj(vec![
+            ("schema", s("hc-trace-diff-v1")),
+            ("verdict", s(if self.passed() { "pass" } else { "fail" })),
+            ("max_rel", f(self.max_rel)),
+            ("checked", u(self.checked as u64)),
+            ("failures", failures),
+        ]);
+        let mut out = doc.to_string();
+        out.push('\n');
+        out
+    }
+}
+
+fn rel_delta(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return f64::INFINITY;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// Compares two derived summaries metric-by-metric. A metric present
+/// on only one side always fails; otherwise it fails when the relative
+/// delta exceeds `max_rel`.
+#[must_use]
+pub fn diff(baseline: &DerivedMetrics, current: &DerivedMetrics, max_rel: f64) -> DiffReport {
+    let mut checked = 0;
+    let mut failures = Vec::new();
+    let mut compare = |metric: String, a: Option<f64>, b: Option<f64>| {
+        checked += 1;
+        let (a, b) = (a.unwrap_or(f64::NAN), b.unwrap_or(f64::NAN));
+        let rel = rel_delta(a, b);
+        if rel > max_rel {
+            failures.push(DiffEntry {
+                metric,
+                baseline: a,
+                current: b,
+                rel,
+            });
+        }
+    };
+    fn union_keys<'a, A, B>(
+        a: &'a BTreeMap<String, A>,
+        b: &'a BTreeMap<String, B>,
+    ) -> Vec<&'a String> {
+        let mut keys: Vec<&String> = a.keys().chain(b.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+    for key in union_keys(&baseline.spans, &current.spans) {
+        let (a, b) = (baseline.spans.get(key), current.spans.get(key));
+        for (field, get) in [
+            (
+                "count",
+                (|v: &SpanDerived| v.count as f64) as fn(&SpanDerived) -> f64,
+            ),
+            ("total_us", |v| v.total_us as f64),
+            ("self_us", |v| v.self_us as f64),
+            ("max_us", |v| v.max_us as f64),
+        ] {
+            compare(format!("span:{key}.{field}"), a.map(get), b.map(get));
+        }
+    }
+    for key in union_keys(&baseline.counters, &current.counters) {
+        compare(
+            format!("counter:{key}"),
+            baseline.counters.get(key).map(|&v| v as f64),
+            current.counters.get(key).map(|&v| v as f64),
+        );
+    }
+    for key in union_keys(&baseline.gauges, &current.gauges) {
+        let (a, b) = (baseline.gauges.get(key), current.gauges.get(key));
+        for (field, get) in [
+            (
+                "last",
+                (|v: &GaugeDerived| v.last) as fn(&GaugeDerived) -> f64,
+            ),
+            ("min", |v| v.min),
+            ("max", |v| v.max),
+        ] {
+            compare(format!("gauge:{key}.{field}"), a.map(get), b.map(get));
+        }
+    }
+    for key in union_keys(&baseline.histograms, &current.histograms) {
+        let (a, b) = (baseline.histograms.get(key), current.histograms.get(key));
+        for (field, get) in [
+            (
+                "count",
+                (|v: &HistDerived| v.count as f64) as fn(&HistDerived) -> f64,
+            ),
+            ("sum", |v| v.sum),
+            ("p50", |v| v.p50),
+            ("p90", |v| v.p90),
+            ("p99", |v| v.p99),
+            ("min", |v| v.min),
+            ("max", |v| v.max),
+        ] {
+            compare(format!("hist:{key}.{field}"), a.map(get), b.map(get));
+        }
+    }
+    DiffReport {
+        checked,
+        max_rel,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Trace;
+    use crate::collector::{counter, enter, gauge, observe, record_scope, span, span_on_track};
+
+    fn demo_trace() -> Trace {
+        let ((), trace) = record_scope(0, || {
+            let root = enter("demo", "run", 0);
+            let phase = enter("demo", "phase", 10);
+            span("demo", "work", 10, 40, &[]);
+            span("demo", "work", 50, 60, &[]);
+            phase.exit(70, &[]);
+            counter("demo.requests", 15, 2);
+            counter("demo.requests", 75, 3);
+            gauge("demo.queue", 20, 4.0);
+            observe("demo.latency", 30, 8.0);
+            observe("demo.latency", 80, 2.0);
+            span_on_track(5, "layout.demo", "lane", 0, 50, &[]);
+            root.exit(100, &[]);
+        });
+        trace
+    }
+
+    #[test]
+    fn tree_links_children_and_computes_self_times() {
+        let trace = demo_trace();
+        let tree = SpanTree::from_records(&trace.records);
+        // Spans in record order: work, work, phase, lane, root.
+        assert_eq!(tree.spans.len(), 5);
+        let self_times = tree.self_times();
+        let phase = tree
+            .spans
+            .iter()
+            .position(|s| s.name == "phase")
+            .expect("phase span");
+        // phase [10,70] minus work [10,40] and [50,60] = 30+10 covered.
+        assert_eq!(tree.spans[phase].dur_us, 60);
+        assert_eq!(self_times[phase], 20);
+        let root = tree
+            .spans
+            .iter()
+            .position(|s| s.name == "run")
+            .expect("run");
+        // root [0,100] minus phase [10,70].
+        assert_eq!(self_times[root], 40);
+        assert_eq!(tree.children(root), &[phase]);
+    }
+
+    #[test]
+    fn critical_path_descends_the_longest_chain() {
+        let trace = demo_trace();
+        let tree = SpanTree::from_records(&trace.records);
+        let cp = critical_path(&tree).expect("has spans");
+        assert_eq!(cp.total_us, 100);
+        let names: Vec<&str> = cp
+            .steps
+            .iter()
+            .map(|s| tree.spans[s.span].name.as_str())
+            .collect();
+        // run (100) -> phase (60) -> first work (30).
+        assert_eq!(names, vec!["run", "phase", "work"]);
+        let attr = critical_path_attribution(&tree, &cp);
+        assert_eq!(attr.len(), 1);
+        assert_eq!(attr[0].0, "demo");
+        // 40 (run) + 20 (phase) + 30 (work).
+        assert_eq!(attr[0].1, 90);
+    }
+
+    #[test]
+    fn folded_stacks_sum_self_time_per_stack() {
+        let trace = demo_trace();
+        let tree = SpanTree::from_records(&trace.records);
+        let folded = folded_stacks(&tree);
+        let get = |stack: &str| {
+            folded
+                .iter()
+                .find(|(s, _)| s == stack)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("demo/run"), 40);
+        assert_eq!(get("demo/run;demo/phase"), 20);
+        assert_eq!(get("demo/run;demo/phase;demo/work"), 40);
+        assert_eq!(get("layout.demo/lane"), 50);
+        // Every line ends up in the rendered folded output.
+        let text = render_folded(&tree);
+        assert!(text.contains("demo/run;demo/phase;demo/work 40\n"));
+    }
+
+    #[test]
+    fn timeseries_windows_counters_gauges_and_histograms() {
+        let trace = demo_trace();
+        let mut acc = TimeSeriesAcc::new(50);
+        for r in &trace.records {
+            acc.add(r);
+        }
+        let text = acc.render_text();
+        assert!(text.contains("counter demo.requests"));
+        // Window 0 has +2, window 1 has +3.
+        assert!(text.contains("w0"));
+        assert!(text.contains("+2"));
+        assert!(text.contains("+3"));
+        let json = acc.render_json();
+        assert!(json.contains("\"hc-trace-timeseries-v1\""));
+        assert!(json.contains("\"demo.latency\""));
+    }
+
+    #[test]
+    fn derived_metrics_exclude_layout_and_round_trip() {
+        let trace = demo_trace();
+        let mut acc = DeriveAcc::new();
+        for r in &trace.records {
+            acc.add(r);
+        }
+        let derived = acc.finish();
+        assert!(derived.spans.contains_key("demo/run"));
+        assert!(!derived.spans.keys().any(|k| k.starts_with("layout.")));
+        let work = derived.spans.get("demo/work").expect("work agg");
+        assert_eq!(work.count, 2);
+        assert_eq!(work.total_us, 40);
+        assert_eq!(work.self_us, 40);
+        assert_eq!(work.max_us, 30);
+        let run = derived.spans.get("demo/run").expect("run agg");
+        assert_eq!(run.self_us, 40);
+        assert_eq!(derived.counters.get("demo.requests"), Some(&5));
+        let lat = derived.histograms.get("demo.latency").expect("hist");
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 10.0);
+        // 8.0 is in bucket exp=3 -> midpoint 12; 2.0 in exp=1 -> 3.
+        assert_eq!(lat.p50, 3.0);
+        assert_eq!(lat.p99, 12.0);
+        let back = DerivedMetrics::from_json(&derived.to_json()).expect("parses");
+        assert_eq!(back, derived);
+    }
+
+    #[test]
+    fn diff_passes_on_identical_and_fails_on_drift() {
+        let trace = demo_trace();
+        let mut acc = DeriveAcc::new();
+        for r in &trace.records {
+            acc.add(r);
+        }
+        let a = acc.finish();
+        let report = diff(&a, &a, 0.0);
+        assert!(report.passed());
+        assert!(report.checked > 0);
+        let mut b = a.clone();
+        b.counters.insert("demo.requests".to_string(), 50);
+        let report = diff(&a, &b, 0.5);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].metric, "counter:demo.requests");
+        let json = report.render_json();
+        assert!(json.contains("\"verdict\":\"fail\""));
+        let text = report.render_text();
+        assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    fn missing_metrics_always_fail_the_diff() {
+        let mut a = DerivedMetrics::default();
+        a.counters.insert("only.a".to_string(), 1);
+        let b = DerivedMetrics::default();
+        let report = diff(&a, &b, 1000.0);
+        assert!(!report.passed());
+        assert!(report.failures[0].rel.is_infinite());
+    }
+
+    #[test]
+    fn sketch_quantiles_are_monotone_and_bounded() {
+        let mut sk = Sketch::default();
+        for v in [0.5, 1.0, 2.0, 4.0, 100.0, 1000.0] {
+            sk.add(v);
+        }
+        let (p50, p90, p99) = (sk.quantile(0.5), sk.quantile(0.9), sk.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99);
+        // Estimates stay within 2x of the true quantile's bucket.
+        assert!((512.0..=2048.0).contains(&p99));
+    }
+}

@@ -24,6 +24,20 @@
 //!   go through [`machine_stat`] into a separate section that
 //!   determinism comparisons exclude.
 //!
+//! ## Span trees
+//!
+//! [`enter`] opens a scope span and parents everything emitted until
+//! the returned [`SpanScope`] closes; the flat [`span`] stays the leaf
+//! emitter. Ids are assigned per collector, so merged traces keep
+//! byte-identical trees at any `--threads` / `--shards` value.
+//!
+//! ## Analysis
+//!
+//! [`analyze`] turns a record stream into reports: span trees with
+//! self times, critical-path extraction, flamegraph folded stacks,
+//! windowed sim-time timeseries, and a derived-metrics summary with a
+//! thresholded diff — the deterministic core of the CI trace gate.
+//!
 //! ## Sinks
 //!
 //! [`sink::jsonl`] renders/parses the line-oriented trace format (the
@@ -35,14 +49,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod collector;
 pub mod metrics;
 pub mod record;
 pub mod sink;
 
 pub use collector::{
-    active, counter, counter_now, event, gauge, machine_stat, merge_trace, observe, record_scope,
-    span, Trace,
+    active, counter, counter_now, enter, event, gauge, machine_stat, merge_trace, name_track,
+    observe, record_scope, span, span_on_track, SpanScope, Trace,
 };
 pub use metrics::{GaugeStat, HistStat, MetricsRegistry};
 pub use record::{fields_from, FieldValue, Fields, Record, RecordData};

@@ -98,8 +98,8 @@ pub struct Record {
 /// The observation payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordData {
-    /// A completed sim-time span (recorded at close, so no guard object
-    /// or wall clock is ever involved).
+    /// A completed sim-time span (recorded at close, so no wall clock
+    /// is ever involved).
     Span {
         /// Subsystem that emitted the span (`sim`, `core`, `games`, …).
         target: String,
@@ -107,6 +107,13 @@ pub enum RecordData {
         name: String,
         /// Sim-time duration in microsecond ticks.
         dur_us: u64,
+        /// Stable span id, unique within the emitting collector and
+        /// assigned in scope-open / leaf-emission order starting at 1
+        /// (0 on pre-tree traces). Ids are only meaningful *within* a
+        /// track: two tracks may reuse the same id values.
+        id: u64,
+        /// Id of the enclosing scope span on the same track (0 = root).
+        parent: u64,
         /// Structured fields.
         fields: Fields,
     },
@@ -167,6 +174,8 @@ mod tests {
                 target: "t".to_string(),
                 name: "n".to_string(),
                 dur_us: 5,
+                id: 1,
+                parent: 0,
                 fields: Fields::new(),
             },
         };

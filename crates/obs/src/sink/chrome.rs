@@ -4,11 +4,15 @@
 //! and `chrome://tracing`. Sim-time maps directly onto the `ts` axis:
 //! one sim-microsecond tick = one trace microsecond, so a 24-sim-hour
 //! campaign renders as a 24-hour timeline. Tracks become `tid`s (track
-//! 0 is the recording scope, track `i + 1` is replication task `i`).
+//! 0 is the recording scope, track `i + 1` is replication task `i`),
+//! and named tracks get `thread_name` metadata events so the viewer
+//! shows `rep-3` / `shard-1` instead of bare tids.
 //!
 //! Mapping:
 //!
-//! * spans → complete events (`"ph":"X"` with `ts`/`dur`),
+//! * spans → duration begin/end pairs (`"ph":"B"` / `"ph":"E"`) emitted
+//!   per track in depth-first span-tree order, so parents open before
+//!   their children even when timestamps tie,
 //! * structured events → thread-scoped instants (`"ph":"i"`, `"s":"t"`),
 //! * counters and gauges → counter events (`"ph":"C"`; counters render
 //!   their cumulative total so the counter track is monotone),
@@ -17,35 +21,131 @@
 
 use super::{f, fields_value, obj, s, u};
 use crate::collector::Trace;
-use crate::record::RecordData;
+use crate::record::{Fields, RecordData};
 use serde_json::Value;
 use std::collections::BTreeMap;
+
+struct SpanNode<'t> {
+    target: &'t str,
+    name: &'t str,
+    start_us: u64,
+    end_us: u64,
+    id: u64,
+    parent: u64,
+    fields: &'t Fields,
+}
+
+fn begin_event(tid: &Value, node: &SpanNode<'_>) -> Value {
+    obj(vec![
+        ("name", s(node.name)),
+        ("cat", s(node.target)),
+        ("ph", s("B")),
+        ("ts", u(node.start_us)),
+        ("pid", u(0)),
+        ("tid", tid.clone()),
+        ("args", fields_value(node.fields)),
+    ])
+}
+
+fn end_event(tid: &Value, node: &SpanNode<'_>) -> Value {
+    obj(vec![
+        ("ph", s("E")),
+        ("ts", u(node.end_us)),
+        ("pid", u(0)),
+        ("tid", tid.clone()),
+    ])
+}
+
+/// Emits one track's spans as properly nested B/E pairs: roots in
+/// emission order, children (sorted by start time, then emission order)
+/// opened inside their parent — depth-first, iteratively.
+fn emit_track_spans(track: u32, nodes: &[SpanNode<'_>], events: &mut Vec<Value>) {
+    let tid = u(u64::from(track));
+    let mut index_of: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.id != 0 {
+            index_of.insert(n.id, i);
+        }
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, n) in nodes.iter().enumerate() {
+        match index_of.get(&n.parent) {
+            Some(&p) if n.parent != 0 && p != i => children[p].push(i),
+            _ => roots.push(i),
+        }
+    }
+    let by_start = |order: &mut Vec<usize>| {
+        order.sort_by_key(|&i| (nodes[i].start_us, i));
+    };
+    roots.sort_by_key(|&i| (nodes[i].start_us, i));
+    for kids in &mut children {
+        by_start(kids);
+    }
+    // Explicit stack: (node, next-child cursor); push B on first visit,
+    // E once every child has been emitted.
+    for root in roots {
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        events.push(begin_event(&tid, &nodes[root]));
+        while let Some((node, cursor)) = stack.pop() {
+            if let Some(&child) = children[node].get(cursor) {
+                stack.push((node, cursor + 1));
+                stack.push((child, 0));
+                events.push(begin_event(&tid, &nodes[child]));
+            } else {
+                events.push(end_event(&tid, &nodes[node]));
+            }
+        }
+    }
+}
 
 /// Renders the trace as a single JSON object document
 /// (`{"traceEvents": […], "displayTimeUnit": "ms"}`).
 #[must_use]
 pub fn render(trace: &Trace) -> String {
-    let mut events: Vec<Value> = Vec::with_capacity(trace.records.len());
+    let mut events: Vec<Value> = Vec::with_capacity(trace.records.len() * 2);
+    for (track, name) in &trace.track_names {
+        events.push(obj(vec![
+            ("name", s("thread_name")),
+            ("ph", s("M")),
+            ("pid", u(0)),
+            ("tid", u(u64::from(*track))),
+            ("args", obj(vec![("name", s(name))])),
+        ]));
+    }
+    // Span-tree pass: group spans by track, emit nested B/E pairs.
+    let mut spans_by_track: BTreeMap<u32, Vec<SpanNode<'_>>> = BTreeMap::new();
+    for r in &trace.records {
+        if let RecordData::Span {
+            target,
+            name,
+            dur_us,
+            id,
+            parent,
+            fields,
+        } = &r.data
+        {
+            spans_by_track.entry(r.track).or_default().push(SpanNode {
+                target,
+                name,
+                start_us: r.t_us,
+                end_us: r.t_us.saturating_add(*dur_us),
+                id: *id,
+                parent: *parent,
+                fields,
+            });
+        }
+    }
+    for (track, nodes) in &spans_by_track {
+        emit_track_spans(*track, nodes, &mut events);
+    }
+    // Instant/counter pass, in record order.
     let mut cumulative: BTreeMap<&str, u64> = BTreeMap::new();
     for r in &trace.records {
         let ts = u(r.t_us);
         let tid = u(u64::from(r.track));
         match &r.data {
-            RecordData::Span {
-                target,
-                name,
-                dur_us,
-                fields,
-            } => events.push(obj(vec![
-                ("name", s(name)),
-                ("cat", s(target)),
-                ("ph", s("X")),
-                ("ts", ts),
-                ("dur", u(*dur_us)),
-                ("pid", u(0)),
-                ("tid", tid),
-                ("args", fields_value(fields)),
-            ])),
+            RecordData::Span { .. } => {}
             RecordData::Event {
                 target,
                 name,
@@ -96,7 +196,7 @@ pub fn render(trace: &Trace) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::collector::{counter, event, record_scope, span};
+    use crate::collector::{counter, enter, event, name_track, record_scope, span};
 
     #[test]
     fn counters_render_cumulative_totals() {
@@ -121,9 +221,11 @@ mod tests {
     }
 
     #[test]
-    fn spans_and_events_carry_the_trace_event_shape() {
+    fn spans_nest_as_begin_end_pairs_in_tree_order() {
         let ((), trace) = record_scope(3, || {
-            span("demo", "work", 10, 50, &[("k", "v".into())]);
+            let root = enter("demo", "root", 0);
+            span("demo", "leaf", 10, 50, &[("k", "v".into())]);
+            root.exit(60, &[]);
             event("demo", "mark", 20, &[]);
         });
         let doc: Value = serde_json::from_str(&render(&trace)).expect("valid json");
@@ -131,14 +233,53 @@ mod tests {
             .get("traceEvents")
             .and_then(Value::as_array)
             .expect("events array");
-        assert_eq!(events.len(), 2);
-        let span_ev = &events[0];
-        assert_eq!(span_ev.get("ph").and_then(Value::as_str), Some("X"));
-        assert_eq!(span_ev.get("ts").and_then(Value::as_u64), Some(10));
-        assert_eq!(span_ev.get("dur").and_then(Value::as_u64), Some(40));
-        assert_eq!(span_ev.get("tid").and_then(Value::as_u64), Some(3));
-        let inst = &events[1];
-        assert_eq!(inst.get("ph").and_then(Value::as_str), Some("i"));
-        assert_eq!(inst.get("s").and_then(Value::as_str), Some("t"));
+        let shape: Vec<(&str, Option<&str>, u64)> = events
+            .iter()
+            .map(|e| {
+                (
+                    e.get("ph").and_then(Value::as_str).expect("ph"),
+                    e.get("name").and_then(Value::as_str),
+                    e.get("ts").and_then(Value::as_u64).expect("ts"),
+                )
+            })
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("B", Some("root"), 0),
+                ("B", Some("leaf"), 10),
+                ("E", None, 50),
+                ("E", None, 60),
+                ("i", Some("mark"), 20),
+            ]
+        );
+        assert!(events
+            .iter()
+            .all(|e| e.get("tid").and_then(Value::as_u64) == Some(3)));
+    }
+
+    #[test]
+    fn named_tracks_emit_thread_name_metadata() {
+        let ((), trace) = record_scope(1, || {
+            name_track(1, "rep-0");
+            span("demo", "work", 0, 5, &[]);
+        });
+        let doc: Value = serde_json::from_str(&render(&trace)).expect("valid json");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("events array");
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").and_then(Value::as_str), Some("M"));
+        assert_eq!(
+            meta.get("name").and_then(Value::as_str),
+            Some("thread_name")
+        );
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str),
+            Some("rep-0")
+        );
     }
 }

@@ -4,14 +4,20 @@
 //!
 //! 1. one line per [`Record`] (`"type"` discriminates `span` / `event`
 //!    / `counter` / `gauge` / `observe`),
-//! 2. one `{"type":"metrics", …}` line — the registry snapshot,
-//! 3. one final `{"type":"machine", …}` line — the machine-dependent
+//! 2. one `{"type":"tracks", …}` line — track names (omitted when no
+//!    track was named),
+//! 3. one `{"type":"metrics", …}` line — the registry snapshot,
+//! 4. one final `{"type":"machine", …}` line — the machine-dependent
 //!    section.
 //!
 //! Everything above the machine line is deterministic: byte-identical
 //! for the same seed at any `--threads` value. [`render_deterministic`]
 //! emits exactly that prefix, so determinism checks are a string
 //! comparison.
+//!
+//! [`parse_line`] exposes the per-line parser so large traces can be
+//! folded line-at-a-time in bounded memory; [`parse`] keeps the
+//! whole-string convenience path for small inputs.
 
 use super::{f, fields_value, obj, s, u};
 use crate::collector::Trace;
@@ -28,6 +34,8 @@ fn record_line(r: &Record) -> Value {
             target,
             name,
             dur_us,
+            id,
+            parent,
             fields,
         } => obj(vec![
             ("type", s("span")),
@@ -36,6 +44,8 @@ fn record_line(r: &Record) -> Value {
             ("target", s(target)),
             ("name", s(name)),
             ("dur", u(*dur_us)),
+            ("id", u(*id)),
+            ("parent", u(*parent)),
             ("fields", fields_value(fields)),
         ]),
         RecordData::Event {
@@ -122,19 +132,33 @@ fn metrics_line(m: &MetricsRegistry) -> Value {
     ])
 }
 
+fn tracks_line(names: &BTreeMap<u32, String>) -> Value {
+    let names = Value::Object(
+        names
+            .iter()
+            .map(|(track, name)| (track.to_string(), s(name)))
+            .collect(),
+    );
+    obj(vec![("type", s("tracks")), ("names", names)])
+}
+
 fn machine_line(stats: &BTreeMap<String, f64>) -> Value {
     let stats = Value::Object(stats.iter().map(|(k, v)| (k.clone(), f(*v))).collect());
     obj(vec![("type", s("machine")), ("stats", stats)])
 }
 
-/// Renders the deterministic sections only — records and the metrics
-/// snapshot, no machine line. Byte-identical across thread counts for
-/// the same seed.
+/// Renders the deterministic sections only — records, track names and
+/// the metrics snapshot, no machine line. Byte-identical across thread
+/// counts for the same seed.
 #[must_use]
 pub fn render_deterministic(trace: &Trace) -> String {
     let mut out = String::new();
     for r in &trace.records {
         out.push_str(&record_line(r).to_string());
+        out.push('\n');
+    }
+    if !trace.track_names.is_empty() {
+        out.push_str(&tracks_line(&trace.track_names).to_string());
         out.push('\n');
     }
     out.push_str(&metrics_line(&trace.metrics).to_string());
@@ -204,6 +228,9 @@ fn parse_record(line: &Value, kind: &str) -> Result<Record, String> {
             target: want_str(line, "target")?,
             name: want_str(line, "name")?,
             dur_us: want_u64(line, "dur")?,
+            // Absent on pre-tree traces; 0 means "no id/root".
+            id: want_u64(line, "id").unwrap_or(0),
+            parent: want_u64(line, "parent").unwrap_or(0),
             fields: parse_fields(line)?,
         },
         "event" => RecordData::Event {
@@ -259,7 +286,71 @@ fn parse_metrics(line: &Value, registry: &mut MetricsRegistry) -> Result<(), Str
     Ok(())
 }
 
-/// Parses a JSONL trace back into a [`Trace`].
+/// One parsed JSONL trace line — the unit the streaming readers fold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Line {
+    /// A record line (`span` / `event` / `counter` / `gauge` /
+    /// `observe`).
+    Record(Record),
+    /// The track-name map.
+    Tracks(BTreeMap<u32, String>),
+    /// The metrics-snapshot line.
+    Metrics(MetricsRegistry),
+    /// The machine-dependent stats line.
+    Machine(BTreeMap<String, f64>),
+}
+
+/// Parses one JSONL trace line. Blank lines yield `Ok(None)`.
+///
+/// This is the streaming entry point: callers fold a `BufRead` line
+/// iterator through it and never hold the whole trace in memory.
+///
+/// # Errors
+///
+/// Returns a reason message (without file position — the caller knows
+/// the line number) on malformed input.
+pub fn parse_line(raw: &str) -> Result<Option<Line>, String> {
+    if raw.trim().is_empty() {
+        return Ok(None);
+    }
+    let line: Value = serde_json::from_str(raw).map_err(|e| e.to_string())?;
+    let kind = want_str(&line, "type")?;
+    let parsed = match kind.as_str() {
+        "tracks" => {
+            let mut names = BTreeMap::new();
+            for (track, name) in want_obj(&line, "names")? {
+                let track: u32 = track
+                    .parse()
+                    .map_err(|_| format!("bad track id `{track}`"))?;
+                let name = name
+                    .as_str()
+                    .ok_or_else(|| format!("bad track name for `{track}`"))?;
+                names.insert(track, name.to_string());
+            }
+            Line::Tracks(names)
+        }
+        "metrics" => {
+            let mut registry = MetricsRegistry::new();
+            parse_metrics(&line, &mut registry)?;
+            Line::Metrics(registry)
+        }
+        "machine" => {
+            let mut stats = BTreeMap::new();
+            for (name, v) in want_obj(&line, "stats")? {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("bad machine stat `{name}`"))?;
+                stats.insert(name.clone(), v);
+            }
+            Line::Machine(stats)
+        }
+        kind => Line::Record(parse_record(&line, kind)?),
+    };
+    Ok(Some(parsed))
+}
+
+/// Parses a JSONL trace back into a [`Trace`] — the whole-string
+/// convenience path for small inputs.
 ///
 /// # Errors
 ///
@@ -267,30 +358,12 @@ fn parse_metrics(line: &Value, registry: &mut MetricsRegistry) -> Result<(), Str
 pub fn parse(text: &str) -> Result<Trace, String> {
     let mut trace = Trace::new();
     for (lineno, raw) in text.lines().enumerate() {
-        if raw.trim().is_empty() {
-            continue;
-        }
-        let line: Value =
-            serde_json::from_str(raw).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let kind = want_str(&line, "type").map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        match kind.as_str() {
-            "metrics" => parse_metrics(&line, &mut trace.metrics)
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
-            "machine" => {
-                for (name, v) in
-                    want_obj(&line, "stats").map_err(|e| format!("line {}: {e}", lineno + 1))?
-                {
-                    let v = v
-                        .as_f64()
-                        .ok_or_else(|| format!("line {}: bad machine stat `{name}`", lineno + 1))?;
-                    trace.machine.insert(name.clone(), v);
-                }
-            }
-            kind => {
-                let record =
-                    parse_record(&line, kind).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                trace.records.push(record);
-            }
+        match parse_line(raw).map_err(|e| format!("line {}: {e}", lineno + 1))? {
+            None => {}
+            Some(Line::Record(record)) => trace.records.push(record),
+            Some(Line::Tracks(names)) => trace.track_names.extend(names),
+            Some(Line::Metrics(registry)) => trace.metrics = registry,
+            Some(Line::Machine(stats)) => trace.machine.extend(stats),
         }
     }
     Ok(trace)
@@ -300,15 +373,18 @@ pub fn parse(text: &str) -> Result<Trace, String> {
 mod tests {
     use super::*;
     use crate::collector::record_scope;
-    use crate::collector::{counter, event, gauge, machine_stat, observe, span};
+    use crate::collector::{counter, enter, event, gauge, machine_stat, name_track, observe, span};
 
     fn demo_trace() -> Trace {
         let ((), trace) = record_scope(0, || {
+            name_track(0, "main");
+            let root = enter("demo", "run", 0);
             event("demo", "start", 0, &[("n", 3u64.into())]);
             counter("demo.count", 10, 2);
             gauge("demo.queue", 20, 4.0);
             observe("demo.latency", 30, 1.5);
             span("demo", "work", 0, 40, &[("label", "alpha".into())]);
+            root.exit(40, &[]);
             machine_stat("demo.steals", 2.0);
         });
         trace
@@ -335,5 +411,36 @@ mod tests {
     fn parse_rejects_garbage_with_a_line_number() {
         let err = parse("{\"type\":\"span\"}\n").expect_err("malformed");
         assert!(err.starts_with("line 1:"), "err: {err}");
+    }
+
+    #[test]
+    fn pre_tree_span_lines_parse_with_zero_ids() {
+        let line = "{\"type\":\"span\",\"track\":0,\"t\":5,\"target\":\"demo\",\
+                    \"name\":\"work\",\"dur\":10,\"fields\":{}}";
+        let trace = parse(line).expect("parses");
+        match &trace.records[0].data {
+            RecordData::Span { id, parent, .. } => {
+                assert_eq!((*id, *parent), (0, 0));
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_line_distinguishes_section_lines() {
+        let trace = demo_trace();
+        let text = render(&trace);
+        let kinds: Vec<&str> = text
+            .lines()
+            .map(|l| match parse_line(l).expect("parses") {
+                Some(Line::Record(_)) => "record",
+                Some(Line::Tracks(_)) => "tracks",
+                Some(Line::Metrics(_)) => "metrics",
+                Some(Line::Machine(_)) => "machine",
+                None => "blank",
+            })
+            .collect();
+        assert_eq!(kinds.first().copied(), Some("record"));
+        assert_eq!(&kinds[kinds.len() - 3..], &["tracks", "metrics", "machine"]);
     }
 }

@@ -9,10 +9,12 @@
 
 use std::path::PathBuf;
 
-/// A fixture exercising every record kind, field type, the metrics
-/// registry, and the machine section.
+/// A fixture exercising every record kind, field type, span-tree
+/// nesting, track names, the metrics registry, and the machine section.
 fn fixture_trace() -> hc_obs::Trace {
     let ((), trace) = hc_obs::record_scope(0, || {
+        hc_obs::name_track(0, "main");
+        let root = hc_obs::enter("sim", "scenario", 0);
         hc_obs::span(
             "sim",
             "run",
@@ -26,6 +28,16 @@ fn fixture_trace() -> hc_obs::Trace {
                 ("load", 0.25f64.into()),
             ],
         );
+        hc_obs::span_on_track(
+            2,
+            "layout.shard",
+            "window",
+            0,
+            2_500,
+            &[("shard", 1u64.into())],
+        );
+        hc_obs::name_track(2, "shard-1");
+        root.exit(5_000, &[("windows", 1u64.into())]);
         hc_obs::event(
             "core",
             "pair",
@@ -85,29 +97,49 @@ fn chrome_export_has_valid_trace_event_shape() {
         .and_then(serde_json::Value::as_array)
         .expect("traceEvents array");
     assert!(!events.is_empty());
+    let mut begins = 0i64;
+    let mut ends = 0i64;
     for ev in events {
         let ph = ev
             .get("ph")
             .and_then(serde_json::Value::as_str)
             .expect("phase");
         assert!(
-            matches!(ph, "X" | "i" | "C"),
+            matches!(ph, "B" | "E" | "i" | "C" | "M"),
             "unexpected phase `{ph}` in {ev}"
         );
-        for key in ["name", "ts", "pid", "tid"] {
+        for key in ["pid", "tid"] {
             assert!(ev.get(key).is_some(), "missing `{key}` in {ev}");
         }
-        if ph == "X" {
-            assert!(ev.get("dur").is_some(), "complete event without dur: {ev}");
-        }
-        if ph == "i" {
-            assert_eq!(
-                ev.get("s").and_then(serde_json::Value::as_str),
-                Some("t"),
-                "instant event without thread scope: {ev}"
-            );
+        match ph {
+            "B" => {
+                begins += 1;
+                assert!(ev.get("name").is_some(), "begin event without name: {ev}");
+                assert!(ev.get("ts").is_some(), "begin event without ts: {ev}");
+            }
+            "E" => {
+                ends += 1;
+                assert!(ev.get("ts").is_some(), "end event without ts: {ev}");
+            }
+            "i" => {
+                assert_eq!(
+                    ev.get("s").and_then(serde_json::Value::as_str),
+                    Some("t"),
+                    "instant event without thread scope: {ev}"
+                );
+            }
+            "M" => {
+                assert_eq!(
+                    ev.get("name").and_then(serde_json::Value::as_str),
+                    Some("thread_name"),
+                    "unexpected metadata event: {ev}"
+                );
+            }
+            _ => {}
         }
     }
+    assert!(begins > 0, "no span begin events");
+    assert_eq!(begins, ends, "unbalanced B/E pairs");
 }
 
 /// Not a test: rewrites the golden files from the current sink output.

@@ -141,20 +141,23 @@ impl Service {
             self.platform.set_time(at);
         }
         self.requests_handled += 1;
+        // A scope (not a leaf) span per request: anything the handler
+        // emits — latency observations, future sub-spans — nests under
+        // it, and the request itself nests under whatever scope the
+        // caller holds open (e.g. a load-harness wave).
+        let scope =
+            hc_obs::active().then(|| hc_obs::enter("serve", request.kind_name(), self.now.ticks()));
         let response = match self.apply(request) {
             Ok(r) => r,
             Err(error) => Response::Error { error },
         };
-        if hc_obs::active() {
+        if let Some(scope) = scope {
             let t = self.now.ticks();
             hc_obs::counter("serve.requests", t, 1);
             if response.is_error() {
                 hc_obs::counter("serve.errors", t, 1);
             }
-            hc_obs::span(
-                "serve",
-                request.kind_name(),
-                t,
+            scope.exit(
                 t,
                 &[
                     ("seq", self.requests_handled.into()),
@@ -481,6 +484,14 @@ impl Service {
                 RoundOutcome::Mismatched
             }
         };
+        if hc_obs::active() {
+            #[allow(clippy::cast_precision_loss)] // diagnostics only
+            hc_obs::observe(
+                "serve.round.latency_us",
+                at.ticks(),
+                at.saturating_since(issued_at).ticks() as f64,
+            );
+        }
         let matched = matches!(outcome, RoundOutcome::Matched { .. });
         let match_points = self.platform.score_rule().match_points;
         let points = if matched { match_points } else { 0 };
@@ -508,6 +519,14 @@ impl Service {
         let transcript = live.session.finish(at);
         self.platform.record_session(&transcript);
         self.sessions_recorded += 1;
+        if hc_obs::active() {
+            #[allow(clippy::cast_precision_loss)] // diagnostics only
+            hc_obs::observe(
+                "serve.session.length_us",
+                at.ticks(),
+                transcript.duration().ticks() as f64,
+            );
+        }
         for p in live.players {
             self.players.insert(p, SessionPhase::Idle);
         }

@@ -263,21 +263,19 @@ where
     }
     let job = &job;
     let (traced, stats) = run_raw(jobs, threads, |index: usize| {
-        hc_obs::record_scope(index as u32 + 1, || job(index))
+        hc_obs::record_scope(index as u32 + 1, || {
+            hc_obs::name_track(index as u32 + 1, &format!("rep-{index}"));
+            // The task root scope: everything the job emits becomes a
+            // child, and closing at the trace's sim-time high-water
+            // mark gives the span its natural duration.
+            let task = hc_obs::enter("sim.par", "task", 0);
+            let out = job(index);
+            task.close(&[("index", index.into())]);
+            out
+        })
     })?;
     let mut out = Vec::with_capacity(jobs);
-    for (index, (data, mut trace)) in traced.into_iter().enumerate() {
-        let end_us = trace.max_t_us();
-        trace.records.push(hc_obs::Record {
-            track: index as u32 + 1,
-            t_us: 0,
-            data: hc_obs::RecordData::Span {
-                target: "sim.par".to_string(),
-                name: "task".to_string(),
-                dur_us: end_us,
-                fields: hc_obs::fields_from(&[("index", index.into())]),
-            },
-        });
+    for (data, trace) in traced {
         hc_obs::merge_trace(trace);
         out.push(data);
     }

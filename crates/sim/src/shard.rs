@@ -86,6 +86,11 @@ impl WindowInfo {
 /// every shard.
 const SRC_HUB: u32 = u32::MAX;
 
+/// First trace track used for per-shard `layout.` lanes (shard `s`
+/// records on track `SHARD_TRACK_BASE + s`), high enough to clear the
+/// replication tracks the parallel pool hands out.
+pub const SHARD_TRACK_BASE: u32 = 1 << 16;
+
 #[derive(Debug)]
 struct Envelope<M> {
     to: Addr,
@@ -410,6 +415,23 @@ where
     let window_of = |t: SimTime| t.ticks() / window_ticks;
     let k = shards.len();
 
+    // Tracing is observed-never-consulted: everything below that touches
+    // hc-obs is emission-only and guarded on `traced`, so untraced runs
+    // take the exact same path as before. All emission happens on the
+    // calling thread (worker threads carry no collector), which keeps
+    // the recorded trace byte-identical at any `cfg.threads`. Records
+    // under the `layout.` prefix (per-shard lanes, the skew gauge) are
+    // the only shard-count-dependent ones; derived-metrics summaries
+    // exclude that prefix so they stay byte-identical across layouts.
+    let traced = hc_obs::active();
+    let run_scope = traced.then(|| {
+        #[allow(clippy::cast_possible_truncation)] // shard counts are small
+        for s in 0..k {
+            hc_obs::name_track(SHARD_TRACK_BASE + s as u32, &format!("shard-{s}"));
+        }
+        hc_obs::enter("sim.shard", "run", 0)
+    });
+
     let mut pending: BTreeMap<u64, Vec<Envelope<W::Msg>>> = BTreeMap::new();
     // Every shard and the hub get an initial step in window 0 so they
     // can seed their calendars before any messages exist.
@@ -440,11 +462,21 @@ where
             start: SimTime::from_ticks(wi * window_ticks),
             end: SimTime::from_ticks((wi + 1) * window_ticks),
         };
+        let win_scope = traced.then(|| hc_obs::enter("sim.shard", "window", win.start.ticks()));
+        // Per-window exchange accounting, emitted at window close.
+        let mut exchange_sent = 0u64;
+        let mut exchange_deferred = 0u64;
+        // Deterministic per-shard work units (inbox + emitted mail) for
+        // the `layout.` lanes and skew gauge; never wall-clock (D1).
+        let mut work: Vec<u64> = if traced { vec![0; k] } else { Vec::new() };
+        let mut stepped: Vec<usize> = Vec::new();
 
         // Partition this window's messages by destination.
+        let arrivals = pending.remove(&wi).unwrap_or_default();
+        let delivered = arrivals.len() as u64;
         let mut shard_in: Vec<Vec<Envelope<W::Msg>>> = (0..k).map(|_| Vec::new()).collect();
         let mut hub_in: Vec<Envelope<W::Msg>> = Vec::new();
-        for env in pending.remove(&wi).unwrap_or_default() {
+        for env in arrivals {
             match env.to {
                 Addr::Shard(s) => shard_in[s].push(env),
                 Addr::Hub => hub_in.push(env),
@@ -462,6 +494,10 @@ where
                     continue;
                 }
                 canonicalize(inbox);
+                if traced {
+                    work[s] = inbox.len() as u64;
+                    stepped.push(s);
+                }
                 let inbox = std::mem::take(inbox)
                     .into_iter()
                     .map(|e| (e.at, e.msg))
@@ -541,8 +577,22 @@ where
                 Err(message) => return Err(ShardError::Panicked { shard: s, message }),
                 Ok((mail, wake)) => {
                     wakes[s] = wake;
-                    stats.messages += mail.len() as u64;
+                    let sent = mail.len() as u64;
+                    stats.messages += sent;
+                    if traced {
+                        work[s] += sent;
+                        exchange_sent += sent;
+                    }
                     for (dw, env) in mail.into_routed() {
+                        if traced && dw > wi {
+                            exchange_deferred += 1;
+                            #[allow(clippy::cast_precision_loss)] // diagnostics only
+                            hc_obs::observe(
+                                "shard.exchange.wait_us",
+                                win.end.ticks(),
+                                (dw * window_ticks).saturating_sub(env.at.ticks()) as f64,
+                            );
+                        }
                         if dw == wi && env.to == Addr::Hub {
                             hub_in.push(env);
                         } else {
@@ -558,16 +608,83 @@ where
         let hub_inbox: Vec<(SimTime, W::Msg)> = hub_in.into_iter().map(|e| (e.at, e.msg)).collect();
         let mut hub_mail = Mailbox::new(SRC_HUB, wi, window_ticks);
         let decision = workload.hub_step(&win, hub_inbox, &mut hub_mail);
-        stats.messages += hub_mail.len() as u64;
+        let hub_sent = hub_mail.len() as u64;
+        stats.messages += hub_sent;
+        if traced {
+            exchange_sent += hub_sent;
+        }
         for (dw, env) in hub_mail.into_routed() {
+            if traced && dw > wi {
+                exchange_deferred += 1;
+                #[allow(clippy::cast_precision_loss)] // diagnostics only
+                hc_obs::observe(
+                    "shard.exchange.wait_us",
+                    win.end.ticks(),
+                    (dw * window_ticks).saturating_sub(env.at.ticks()) as f64,
+                );
+            }
             pending.entry(dw).or_default().push(env);
         }
+
+        if let Some(scope) = win_scope {
+            // Per-shard lanes and the skew gauge are the shard-layout-
+            // dependent view; the `layout.` prefix keeps them out of
+            // derived-metrics summaries (they stay layout-invariant).
+            #[allow(clippy::cast_possible_truncation)] // shard counts are small
+            for &s in &stepped {
+                hc_obs::span_on_track(
+                    SHARD_TRACK_BASE + s as u32,
+                    "layout.shard",
+                    "window",
+                    win.start.ticks(),
+                    win.end.ticks(),
+                    &[
+                        ("shard", (s as u64).into()),
+                        ("window", wi.into()),
+                        ("work", work[s].into()),
+                    ],
+                );
+            }
+            let total_work: u64 = stepped.iter().map(|&s| work[s]).sum();
+            if total_work > 0 {
+                let max_work = stepped.iter().map(|&s| work[s]).max().unwrap_or(0);
+                #[allow(clippy::cast_precision_loss)] // diagnostics only
+                let skew = max_work as f64 * stepped.len() as f64 / total_work as f64;
+                hc_obs::gauge("layout.shard.skew", win.end.ticks(), skew);
+            }
+            if exchange_sent > 0 {
+                hc_obs::counter("shard.exchange.sent", win.end.ticks(), exchange_sent);
+            }
+            if exchange_deferred > 0 {
+                hc_obs::counter(
+                    "shard.exchange.deferred",
+                    win.end.ticks(),
+                    exchange_deferred,
+                );
+            }
+            scope.exit(
+                win.end.ticks(),
+                &[
+                    ("window", wi.into()),
+                    ("delivered", delivered.into()),
+                    ("stepped", (stepped.len() as u64).into()),
+                ],
+            );
+        }
+
         hub_wake = decision.next_wake;
         if decision.control == Control::Stop {
             break;
         }
     }
 
+    if let Some(scope) = run_scope {
+        scope.close(&[
+            ("windows", stats.windows.into()),
+            ("steps", stats.shard_steps.into()),
+            ("messages", stats.messages.into()),
+        ]);
+    }
     if hc_obs::active() {
         #[allow(clippy::cast_precision_loss)] // diagnostics only
         {
