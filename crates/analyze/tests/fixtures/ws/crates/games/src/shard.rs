@@ -53,3 +53,45 @@ fn mix(rng: &SimRng, sid: u32) -> u64 {
     let _ = rng;
     u64::from(sid)
 }
+
+/// Sharded matchmaking: per-bucket wait pools run inside
+/// `shard_step`, so their pairing draws are R1-subject even though
+/// the same bucket state is also read behind the hub barrier during
+/// stats harvest.
+pub struct BucketCampaign {
+    factory: RngFactory,
+    buckets: Vec<WaitBucket>,
+}
+
+pub struct WaitBucket {
+    draws: u64,
+}
+
+impl WaitBucket {
+    fn pair_unindexed(&mut self, factory: &RngFactory) -> u64 {
+        let mut rng = factory.stream("shard.match");
+        let dup = rng.clone();
+        self.draws += 1;
+        spin(&mut rng) + drain(dup)
+    }
+
+    fn pair_indexed(&mut self, factory: &RngFactory, bucket: u64) -> u64 {
+        let mut rng = factory.indexed_stream("shard.match", (bucket << 40) | self.draws);
+        self.draws += 1;
+        spin(&mut rng)
+    }
+}
+
+impl ShardWorkload for BucketCampaign {
+    fn shard_step(&mut self, sid: u32) -> u64 {
+        let bucket = u64::from(sid) % 2;
+        match self.buckets.first_mut() {
+            Some(mb) => mb.pair_unindexed(&self.factory) + mb.pair_indexed(&self.factory, bucket),
+            None => 0,
+        }
+    }
+
+    fn hub_step(&mut self) -> u64 {
+        self.buckets.iter().map(|mb| mb.draws).sum()
+    }
+}

@@ -38,6 +38,8 @@ fn planted_violations_fire_exactly() {
         ("R1", "crates/games/src/shard.rs", 12),
         ("R1", "crates/games/src/shard.rs", 13),
         ("R1", "crates/games/src/shard.rs", 25),
+        ("R1", "crates/games/src/shard.rs", 72),
+        ("R1", "crates/games/src/shard.rs", 73),
         ("R2", "crates/obs/src/agg.rs", 13),
         ("R2", "crates/obs/src/agg.rs", 38),
         ("O1", "crates/obs/src/analyze.rs", 6),
@@ -215,7 +217,7 @@ fn r1_spares_the_hub_barrier_and_indexed_streams() {
         .filter(|d| d.rule == "R1" && d.path.contains("games/"))
         .map(|d| d.line)
         .collect();
-    assert_eq!(games_r1, vec![12, 13, 25]);
+    assert_eq!(games_r1, vec![12, 13, 25, 72, 73]);
     assert!(!games_r1.contains(&18), "hub barrier leaked into R1");
     assert!(!games_r1.contains(&35), "indexed_stream misflagged");
     let serve_r1: Vec<usize> = report
@@ -225,6 +227,30 @@ fn r1_spares_the_hub_barrier_and_indexed_streams() {
         .map(|d| d.line)
         .collect();
     assert_eq!(serve_r1, vec![10]);
+}
+
+#[test]
+fn bucket_matchmaker_is_shard_reachable_under_r1() {
+    // fixtures/ws/crates/games/src/shard.rs: BucketCampaign mirrors the
+    // sharded matchmaker — per-bucket wait pools whose pairing methods
+    // run inside `shard_step`. The graph must carry reachability into
+    // the bucket type: an un-indexed `.stream(` draw (line 72) and a
+    // cloned stream (line 73) in `WaitBucket::pair_unindexed` fire even
+    // though the tokens live outside the `ShardWorkload` impl, while
+    // the per-arrival `indexed_stream` draw (line 79) and the
+    // hub-barrier harvest that reads the same buckets stay silent.
+    let report = analyze_workspace(&fixture_root()).expect("fixture walk");
+    let bucket_r1: Vec<usize> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "R1" && d.path.contains("games/src/shard.rs") && d.line > 55)
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(bucket_r1, vec![72, 73], "bucket pairing escaped R1");
+    assert!(
+        !bucket_r1.contains(&79),
+        "per-arrival indexed_stream misflagged in bucket code"
+    );
 }
 
 #[test]

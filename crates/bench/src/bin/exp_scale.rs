@@ -20,6 +20,11 @@
 //! Unlike the other grids, the replication pool here is pinned to one
 //! task at a time: `--threads` hands the cores to the sharded engine
 //! *inside* the run instead of spreading them across reps.
+//!
+//! `--players N` runs the single cell at `N` players on a reduced sim
+//! horizon (20 min instead of 2 h) — the release-mode smoke CI uses to
+//! put the full million-player population through the bucketed
+//! matchmaker on every PR.
 
 use hc_bench::{f1, f3, run_grid, Cell, RunOpts, Table};
 use hc_games::shard::{EspShardGame, ShardedCampaign, ShardedCampaignConfig};
@@ -46,11 +51,27 @@ fn main() {
     let opts = RunOpts::from_args();
     let reps = opts.reps_or(1, 1);
     let shards = opts.shards.unwrap_or(4);
-    let populations: &[usize] = if opts.smoke {
-        &[50_000]
-    } else {
-        &[10_000, 50_000, 200_000, 1_000_000]
-    };
+    // `--players N` is the release-mode population smoke: one cell at
+    // full population on a reduced sim horizon, so CI can afford the
+    // million-player workload. The grid tiers keep the full horizon.
+    let (populations, horizon, spread): (Vec<usize>, SimTime, SimDuration) =
+        match (opts.players, opts.smoke) {
+            (Some(p), _) => (
+                vec![p],
+                SimTime::from_secs(20 * 60),
+                SimDuration::from_mins(10),
+            ),
+            (None, true) => (
+                vec![50_000],
+                SimTime::from_secs(2 * 3600),
+                SimDuration::from_mins(45),
+            ),
+            (None, false) => (
+                vec![10_000, 50_000, 200_000, 1_000_000],
+                SimTime::from_secs(2 * 3600),
+                SimDuration::from_mins(45),
+            ),
+        };
     let cells: Vec<Cell<usize>> = populations
         .iter()
         .map(|&p| Cell::new(format!("players={p}"), p))
@@ -71,11 +92,15 @@ fn main() {
         let driver = EspShardGame::generate(&world_cfg, &mut world_rng);
         let config = ShardedCampaignConfig {
             players,
-            horizon: SimTime::from_secs(2 * 3600),
-            arrival_spread: SimDuration::from_mins(45),
+            horizon,
+            arrival_spread: spread,
             shards,
             threads: opts.threads,
             window: SimDuration::from_secs(10),
+            // Skill tiers for the sharded wait pool — a semantic knob
+            // (who can pair with whom), deliberately NOT tied to
+            // `--shards`, so every layout produces identical pairings.
+            match_buckets: 8,
             ..ShardedCampaignConfig::small()
         };
         let mut campaign = ShardedCampaign::new(driver, config, ctx.seed);

@@ -6,7 +6,7 @@
 //!                  [--max-slowdown X] [--min-speedup Y] [--max-p99-slowdown Z]
 //! hc-bench compare --sweep-threads 1,2,4,8 --out OUT.json -- CMD [ARGS...]
 //! hc-bench trace summary TRACE.jsonl
-//! hc-bench trace critical-path TRACE.jsonl
+//! hc-bench trace critical-path TRACE.jsonl [--top-frames N] [--json]
 //! hc-bench trace flame TRACE.jsonl [--top N]
 //! hc-bench trace timeseries TRACE.jsonl [--window US] [--json]
 //! hc-bench trace derive TRACE.jsonl [OUT.json]
@@ -34,6 +34,9 @@
 //!   recorded trace (from an experiment's `--trace PATH`);
 //! * `trace critical-path` prints the longest sim-time chain through
 //!   the span tree with per-target self-time attribution;
+//!   `--top-frames N` lists only the N hottest steps by self time,
+//!   `--json` emits the deterministic `hc-trace-critical-path-v1`
+//!   document CI parses for the hub-fraction record;
 //! * `trace flame` prints flamegraph folded stacks (or, with
 //!   `--top N`, the N hottest frames by self time);
 //! * `trace timeseries` prints windowed counter/gauge/histogram
@@ -63,7 +66,7 @@ const USAGE: &str = "usage: hc-bench compare --determinism A B
        hc-bench compare --baseline BASE --current CUR [--max-slowdown X] [--min-speedup Y] [--max-p99-slowdown Z]
        hc-bench compare --sweep-threads 1,2,4,8 --out OUT -- CMD [ARGS...]
        hc-bench trace summary TRACE
-       hc-bench trace critical-path TRACE
+       hc-bench trace critical-path TRACE [--top-frames N] [--json]
        hc-bench trace flame TRACE [--top N]
        hc-bench trace timeseries TRACE [--window US] [--json]
        hc-bench trace derive TRACE [OUT]
@@ -99,13 +102,35 @@ fn trace_command(args: &[String]) -> ExitCode {
             }
             Err(e) => io_error(&e),
         },
-        ("critical-path", [path]) => match build_tree(Path::new(path)) {
-            Ok(tree) => {
-                print!("{}", analyze::render_critical_path(&tree));
-                ExitCode::SUCCESS
+        ("critical-path", [path, flags @ ..]) => {
+            let mut top: Option<usize> = None;
+            let mut json = false;
+            let mut it = flags.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--top-frames" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                        Some(n) if n > 0 => top = Some(n),
+                        _ => return usage_error("--top-frames requires a positive count"),
+                    },
+                    "--json" => json = true,
+                    other => return usage_error(&format!("unknown critical-path flag `{other}`")),
+                }
             }
-            Err(e) => io_error(&e),
-        },
+            match build_tree(Path::new(path)) {
+                Ok(tree) => {
+                    if json {
+                        print!("{}", analyze::critical_path_json(&tree, top));
+                    } else {
+                        match top {
+                            Some(n) => print!("{}", analyze::render_critical_path_top(&tree, n)),
+                            None => print!("{}", analyze::render_critical_path(&tree)),
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => io_error(&e),
+            }
+        }
         ("flame", [path, flags @ ..]) => {
             let top = match flags {
                 [] => None,

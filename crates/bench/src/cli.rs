@@ -3,7 +3,7 @@
 //! Every grid-based experiment accepts the same flags:
 //!
 //! ```text
-//! exp_* [SEED] [--seed N] [--threads N] [--shards K] [--reps N] [--smoke] [--bench-json PATH] [--trace PATH]
+//! exp_* [SEED] [--seed N] [--threads N] [--shards K] [--reps N] [--smoke] [--players N] [--bench-json PATH] [--trace PATH]
 //! ```
 //!
 //! * `SEED` / `--seed N` — master seed (default 42; the bare positional
@@ -18,6 +18,10 @@
 //!   **Never changes output bytes** either — the shard exchange merges
 //!   in a layout-independent order;
 //! * `--smoke` — reduced grid for CI smoke runs;
+//! * `--players N` — population override for experiments with a
+//!   population axis (currently `exp_scale`): run the single cell at
+//!   `N` players on a reduced sim horizon — the CI-friendly way to
+//!   smoke the full million-player workload in release mode;
 //! * `--bench-json PATH` — write the machine-readable bench JSON
 //!   (deterministic `results` + machine-dependent `timing`) to `PATH`;
 //! * `--trace PATH` — record the run under an `hc-obs` subscriber and
@@ -42,6 +46,9 @@ pub struct RunOpts {
     pub reps: Option<usize>,
     /// Run the reduced CI smoke grid instead of the full grid.
     pub smoke: bool,
+    /// Population override for population-axis experiments; `None`
+    /// runs the experiment's own grid.
+    pub players: Option<usize>,
     /// Where to write the bench JSON, if anywhere.
     pub bench_json: Option<PathBuf>,
     /// Where to write the `hc-obs` JSONL trace; `Some` also turns the
@@ -57,6 +64,7 @@ impl Default for RunOpts {
             shards: None,
             reps: None,
             smoke: false,
+            players: None,
             bench_json: None,
             trace: None,
         }
@@ -71,7 +79,7 @@ pub fn default_threads() -> usize {
 }
 
 const USAGE: &str =
-    "usage: exp_* [SEED] [--seed N] [--threads N] [--shards K] [--reps N] [--smoke] [--bench-json PATH] [--trace PATH]";
+    "usage: exp_* [SEED] [--seed N] [--threads N] [--shards K] [--reps N] [--smoke] [--players N] [--bench-json PATH] [--trace PATH]";
 
 impl RunOpts {
     /// Parses options from `std::env::args`, exiting with status 2 and a
@@ -88,6 +96,7 @@ impl RunOpts {
                 "--shards" => opts.shards = Some(parse_flag::<usize>(&arg, args.next()).max(1)),
                 "--reps" => opts.reps = Some(parse_flag::<usize>(&arg, args.next()).max(1)),
                 "--smoke" => opts.smoke = true,
+                "--players" => opts.players = Some(parse_flag::<usize>(&arg, args.next()).max(1)),
                 "--bench-json" => match args.next() {
                     Some(p) => opts.bench_json = Some(PathBuf::from(p)),
                     None => die(&format!("--bench-json requires a path\n{USAGE}")),
@@ -147,6 +156,7 @@ mod tests {
         assert!(o.threads >= 1);
         assert!(o.shards.is_none());
         assert!(!o.smoke);
+        assert!(o.players.is_none());
         assert!(o.reps.is_none());
         assert!(o.bench_json.is_none());
         assert!(o.trace.is_none());

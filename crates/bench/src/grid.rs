@@ -321,6 +321,7 @@ mod tests {
             shards: None,
             reps: None,
             smoke: false,
+            players: None,
             bench_json: None,
             trace: None,
         }

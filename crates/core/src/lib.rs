@@ -54,6 +54,7 @@
 
 pub mod answer;
 pub mod anticheat;
+pub mod bucket;
 pub mod error;
 pub mod id;
 pub mod jobs;
@@ -69,6 +70,7 @@ pub mod text;
 pub mod verify;
 
 pub use answer::{Answer, Label, Region, Verdict};
+pub use bucket::{BucketLayout, BucketPool};
 pub use error::{Error, Result};
 pub use id::{JobId, PlayerId, RoundId, SessionId, TaskId};
 pub use jobs::{Job, JobBook, JobGoal, JobState};
@@ -91,6 +93,7 @@ pub use verify::{AgreementTracker, GoldBank, GoldOutcome, TabooList};
 pub mod prelude {
     pub use crate::answer::{Answer, Label, Region, Verdict};
     pub use crate::anticheat::{CheatAssessment, CheatDetector, Reputation};
+    pub use crate::bucket::{BucketLayout, BucketPool};
     pub use crate::error::{Error, Result};
     pub use crate::id::{JobId, PlayerId, RoundId, SessionId, TaskId};
     pub use crate::jobs::{Job, JobBook, JobGoal, JobState};

@@ -69,6 +69,14 @@ pub struct MatchmakerStats {
 }
 
 impl MatchmakerStats {
+    /// Accumulates another pool's statistics (bucket-order reduction of a
+    /// sharded run's per-bucket pools).
+    pub fn merge(&mut self, other: &MatchmakerStats) {
+        self.live_pairs += other.live_pairs;
+        self.replay_pairs += other.replay_pairs;
+        self.abandonments += other.abandonments;
+    }
+
     /// Fraction of all pairs that needed the replay fallback.
     #[must_use]
     pub fn replay_share(&self) -> f64 {
@@ -137,23 +145,33 @@ impl Matchmaker {
         player: PlayerId,
         rng: &mut R,
     ) -> MatchDecision {
-        // Collect eligible waiter indices: everyone except the player
-        // themself and — under strict rematch avoidance — their previous
-        // partner. A player whose only possible partner is their last one
-        // queues instead; the replay-bot fallback rescues them if nobody
-        // else shows up.
+        // Eligible waiters: everyone except the player themself and — under
+        // strict rematch avoidance — their previous partner. A player whose
+        // only possible partner is their last one queues instead; the
+        // replay-bot fallback rescues them if nobody else shows up.
+        //
+        // The eligible set is counted and the k-th candidate re-found in
+        // place; same single `gen_range` draw (so the same pairings as the
+        // historical index-vector implementation) without the per-arrival
+        // allocation.
         let last = self.last_partner.get(player.raw()).copied();
-        let eligible: Vec<usize> = (0..self.waiting.len())
-            .filter(|&i| {
-                let candidate = self.waiting[i].1;
-                candidate != player && !(self.config.avoid_rematch && Some(candidate) == last)
-            })
-            .collect();
-        if eligible.is_empty() {
+        let eligible = |candidate: PlayerId| {
+            candidate != player && !(self.config.avoid_rematch && Some(candidate) == last)
+        };
+        let count = self.waiting.iter().filter(|&&(_, c)| eligible(c)).count();
+        if count == 0 {
             self.waiting.push((now, player));
             return MatchDecision::Queued;
         }
-        let pick = eligible[rng.gen_range(0..eligible.len())];
+        let k = rng.gen_range(0..count);
+        let pick = self
+            .waiting
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(_, c))| eligible(c))
+            .nth(k)
+            .map(|(i, _)| i)
+            .unwrap_or_default();
         let (entered, partner) = self.waiting.swap_remove(pick);
         let waited = now.saturating_since(entered);
         self.wait_stats.push(waited.as_secs_f64());

@@ -92,14 +92,30 @@ impl OutputAgreementRound {
     /// The clock starts at the first submission.
     #[must_use]
     pub fn new(task: TaskId, taboo: TabooList, time_limit: SimDuration) -> Self {
+        Self::with_guess_capacity(task, taboo, time_limit, 0)
+    }
+
+    /// Like [`Self::new`], but pre-sizes the per-seat guess vectors and
+    /// membership sets for `per_seat` expected guesses, so a round played
+    /// inside a hot loop never reallocates mid-round.
+    #[must_use]
+    pub fn with_guess_capacity(
+        task: TaskId,
+        taboo: TabooList,
+        time_limit: SimDuration,
+        per_seat: usize,
+    ) -> Self {
         OutputAgreementRound {
             task,
             taboo,
             deadline: SimTime::MAX,
             started: SimTime::ZERO,
             started_set: false,
-            guesses: [Vec::new(), Vec::new()],
-            guess_sets: [DetSet::new(), DetSet::new()],
+            guesses: [Vec::with_capacity(per_seat), Vec::with_capacity(per_seat)],
+            guess_sets: [
+                DetSet::with_capacity(per_seat),
+                DetSet::with_capacity(per_seat),
+            ],
             passed: [false, false],
             taboo_rejections: 0,
             agreed: None,
@@ -113,6 +129,12 @@ impl OutputAgreementRound {
     #[must_use]
     pub fn task(&self) -> TaskId {
         self.task
+    }
+
+    /// The taboo list in force for this round.
+    #[must_use]
+    pub fn taboo(&self) -> &TabooList {
+        &self.taboo
     }
 
     /// `true` once the round has terminated (match, both-pass, or timeout

@@ -14,22 +14,29 @@
 //!   ([`PlayerStore`]), sitting plans (arena-allocated in a
 //!   [`SliceArena`]), arrival calendars, and — the hot path — *session
 //!   play*: every planned session is executed entirely on a worker
-//!   thread from its own per-session RNG stream.
+//!   thread from its own per-session RNG stream. **Matchmaking is
+//!   sharded too**: the wait pool is partitioned into deterministic
+//!   skill tiers ([`BucketLayout`]); bucket `b` lives on shard `b % K`
+//!   as a [`BucketPool`] and pairing runs inside the shard window, with
+//!   each arrival drawing from the bucket's own counter-indexed RNG
+//!   stream.
 //! * **The hub** owns everything semantically global: the
 //!   [`Platform`] (task queues, verification, scoring, anti-cheat,
-//!   replay store), the matchmaker pool, and session-id allocation.
-//!   Matching is random across the whole population, so the pool cannot
-//!   be partitioned without changing semantics; it stays on the hub and
-//!   the hub stays cheap by never simulating rounds itself.
+//!   replay store) and session-id allocation. It plans sessions and
+//!   applies outcomes — its per-window work is proportional to the
+//!   sessions starting and finishing, never to raw arrival traffic, so
+//!   it falls off the critical path of large runs.
 //!
 //! ## The session protocol
 //!
 //! ```text
-//! shard --Arrived{profile}-->  hub     (player starts/resumes a sitting)
-//! hub   --Play(SessionJob)-->  shard sid % K   (planned rounds + profiles)
-//! shard --Done{outcome}----->  hub     (transcript + per-round effects)
-//! shard --Return{profile}--->  shard p % K     (profile flies home)
-//! hub   --Return{profile}--->  shard p % K     (give-up: no solo mode)
+//! shard --Arrived{profile}--->  shard b % K    (arrival flies to its skill bucket)
+//! shard --Paired{w, a}------->  hub            (bucket pool matched two players)
+//! shard --TimedOut{profile}-->  hub            (bot-fallback deadline expired)
+//! hub   --Play(SessionJob)--->  shard sid % K  (planned rounds + profiles)
+//! shard --Done{outcome}------>  hub            (transcript + per-round effects)
+//! shard --Return{profile}---->  shard p % K    (profile flies home)
+//! hub   --Return{profile}---->  shard p % K    (give-up: no solo mode)
 //! ```
 //!
 //! The hub *plans* sessions (task selection, taboo lists, replay
@@ -38,7 +45,14 @@
 //! plan. Planning is optimistic: up to `max_rounds` rounds are planned
 //! and marked served even when the session ends early — a documented,
 //! deterministic deviation from the serial campaigns (see DESIGN.md,
-//! "Sharding & determinism").
+//! "Sharding & determinism"). Matching inside a skill tier and the
+//! arrival→bucket delivery hop (pairing lands one window after the
+//! arrival is emitted) are likewise documented deviations.
+//!
+//! Replay-fallback sweeps run on the owning shard at each bucket's own
+//! deadline windows ([`BucketPool::next_deadline`] feeds the shard
+//! wake), so timeout timing is a pure function of pool contents —
+//! never of which other work happens to share the shard.
 //!
 //! Exchange keys are pure functions of simulation state (times, player
 //! ids, session ids), never of the shard layout, which is what makes
@@ -47,14 +61,14 @@
 
 use crate::params::SessionParams;
 use crate::world::WorldConfig;
-use hc_collect::{PlayerStore, SliceArena, Span};
+use hc_collect::{DetMap, PlayerStore, SliceArena, Span};
 use hc_core::prelude::*;
 use hc_crowd::{ArchetypeMix, EngagementModel, PlayerProfile, PopulationBuilder};
 use hc_sim::dist::Exponential;
 use hc_sim::shard::{
     Addr, HubDecision, Mailbox, ShardConfig, ShardError, ShardWorkload, WindowInfo,
 };
-use hc_sim::{EventQueue, RngFactory, SimRng};
+use hc_sim::{OnlineStats, RngFactory, SimRng, WheelQueue};
 use rand::Rng;
 
 /// Pause between rounds within a session (mirrors the serial drivers).
@@ -74,6 +88,8 @@ const GUESSES_PER_HINT: usize = 2;
 // collide within one (window, destination) inbox.
 const TAG_ARRIVED: u128 = 1 << 120;
 const TAG_RETURN: u128 = 2 << 120;
+const TAG_PAIRED: u128 = 3 << 120;
+const TAG_TIMEOUT: u128 = 4 << 120;
 
 /// Key for a timestamped per-player message: unique because a player
 /// sends at most one arrival (and receives at most one return) per
@@ -133,9 +149,24 @@ pub struct PlayedSession {
 /// Cross-shard campaign traffic.
 #[derive(Debug)]
 pub enum CampaignMsg {
-    /// A player starts or resumes a sitting (shard → hub, with profile).
+    /// A player starts or resumes a sitting (home shard → the shard
+    /// owning the player's skill bucket, with profile).
     Arrived {
-        /// The arriving player's profile (ownership moves to the hub).
+        /// The arriving player's profile (ownership moves with it).
+        profile: Box<PlayerProfile>,
+    },
+    /// A bucket pool matched two players (bucket shard → hub).
+    Paired {
+        /// The player who was waiting in the pool.
+        waiter: Box<PlayerProfile>,
+        /// The player whose arrival completed the pair.
+        arriver: Box<PlayerProfile>,
+        /// How long the waiter waited.
+        waited: SimDuration,
+    },
+    /// A waiter crossed the bot-fallback deadline (bucket shard → hub).
+    TimedOut {
+        /// The timed-out player's profile.
         profile: Box<PlayerProfile>,
     },
     /// A planned session to execute (hub → shard `sid % K`).
@@ -223,6 +254,11 @@ pub struct ShardedCampaignConfig {
     pub threads: usize,
     /// Lock-step window length (also the matchmaker sweep cadence).
     pub window: SimDuration,
+    /// Skill tiers the wait pool is partitioned into. A **semantic**
+    /// parameter — it narrows who can pair with whom — so it must never
+    /// be derived from the shard count: the same population must
+    /// produce the same pairings at any layout.
+    pub match_buckets: u32,
 }
 
 impl ShardedCampaignConfig {
@@ -240,6 +276,7 @@ impl ShardedCampaignConfig {
             shards: 2,
             threads: 1,
             window: SimDuration::from_secs(5),
+            match_buckets: 2,
         }
     }
 }
@@ -288,13 +325,34 @@ struct SittingPlan {
     gap_draws: u64,
 }
 
-/// One shard's state: the players it is home to.
+/// One skill tier's matchmaking state, hosted on shard `bucket % K`.
+///
+/// Shard-reachable: no telemetry, no un-indexed RNG (rule R1). The
+/// per-arrival stream is `indexed_stream("shard.match", (bucket << 40)
+/// | draws)`, so the draw sequence is a pure function of the bucket's
+/// arrival subsequence — identical wherever the bucket is hosted.
+#[derive(Debug)]
+struct MatchBucket {
+    bucket: u32,
+    pool: BucketPool,
+    /// Profiles of queued waiters, keyed by player id.
+    parked: DetMap<u64, PlayerProfile>,
+    /// Arrivals handled so far — indexes the bucket's match RNG.
+    draws: u64,
+}
+
+/// One shard's state: the players it is home to plus the skill-tier
+/// match pools it owns (`bucket % K == shard`, ascending).
 #[derive(Debug)]
 pub struct GameShard {
     idle: PlayerStore<PlayerProfile>,
     plans: PlayerStore<SittingPlan>,
     sittings: SliceArena<SimDuration>,
-    calendar: EventQueue<PlayerId>,
+    calendar: WheelQueue<PlayerId>,
+    buckets: Vec<MatchBucket>,
+    /// Reused timeout/abandon sweep output; never reallocated in
+    /// steady state.
+    sweep_scratch: Vec<PlayerId>,
 }
 
 /// The sharded deployment: implements [`ShardWorkload`] with shard-side
@@ -306,16 +364,19 @@ pub struct ShardedCampaign<D: ShardGame> {
     factory: RngFactory,
     session_cfg: SessionConfig,
     rule: ScoreRule,
+    layout: BucketLayout,
     // Hub state (stepped serially on the calling thread).
     platform: Platform,
-    waiting: PlayerStore<PlayerProfile>,
     session_ids: hc_core::id::IdAllocator<SessionId>,
-    match_rng: SimRng,
     plan_rng: SimRng,
     in_flight: u64,
     live_sessions: u64,
     solo_sessions: u64,
     solo_play: ContributionLedger,
+    // Bucket-pool statistics, merged post-run in ascending bucket order
+    // so the floating-point reduction is layout-invariant.
+    match_stats: hc_core::matchmaker::MatchmakerStats,
+    wait_stats: OnlineStats,
     shards: Option<Vec<GameShard>>,
 }
 
@@ -342,12 +403,29 @@ impl<D: ShardGame> ShardedCampaign<D> {
         let spread = Exponential::new(1.0 / config.arrival_spread.as_secs_f64().max(1e-6))
             .expect("positive spread"); // hc-analyze: allow(P1): rate argument clamped to at least 1e-6
         let k = config.shards;
+        let layout = BucketLayout::new(config.match_buckets);
+        let mm_cfg = platform.config().matchmaker;
+        // Pre-size every per-player structure from the plan cardinality:
+        // a shard is home to ~players/K calendars and hosts pools that
+        // can hold at worst one tier's whole population.
+        let per_shard = config.players / k + 1;
+        let per_bucket = config.players / layout.buckets() as usize + 1;
         let mut shards: Vec<GameShard> = (0..k)
             .map(|s| GameShard {
                 idle: PlayerStore::strided(k as u64, s as u64),
                 plans: PlayerStore::strided(k as u64, s as u64),
                 sittings: SliceArena::new(),
-                calendar: EventQueue::new(),
+                calendar: WheelQueue::with_capacity(per_shard),
+                buckets: (0..layout.buckets() as usize)
+                    .filter(|b| b % k == s)
+                    .map(|b| MatchBucket {
+                        bucket: b as u32,
+                        pool: BucketPool::with_capacity(mm_cfg, per_bucket),
+                        parked: DetMap::with_capacity(per_bucket),
+                        draws: 0,
+                    })
+                    .collect(),
+                sweep_scratch: Vec::new(),
             })
             .collect();
         for profile in population.players() {
@@ -376,7 +454,6 @@ impl<D: ShardGame> ShardedCampaign<D> {
         }
         let session_cfg = platform.config().session;
         let rule = platform.score_rule();
-        let match_rng = factory.stream("shard.match");
         let plan_rng = factory.stream("shard.plan");
         ShardedCampaign {
             driver,
@@ -384,15 +461,16 @@ impl<D: ShardGame> ShardedCampaign<D> {
             factory,
             session_cfg,
             rule,
+            layout,
             platform,
-            waiting: PlayerStore::new(),
             session_ids: hc_core::id::IdAllocator::new(),
-            match_rng,
             plan_rng,
             in_flight: 0,
             live_sessions: 0,
             solo_sessions: 0,
             solo_play: ContributionLedger::new(),
+            match_stats: hc_core::matchmaker::MatchmakerStats::default(),
+            wait_stats: OnlineStats::new(),
             shards: Some(shards),
         }
     }
@@ -413,6 +491,15 @@ impl<D: ShardGame> ShardedCampaign<D> {
         // high-water mark so the last window stays inside it.
         let campaign = hc_obs::enter("games", "shard.campaign", 0);
         hc_sim::shard::run(&cfg, self, &mut shards)?;
+        // Reduce per-bucket matchmaking statistics in ascending bucket
+        // order — a fixed reduction order keeps the floating-point sums
+        // byte-identical at any shard layout.
+        let mut tiers: Vec<&MatchBucket> = shards.iter().flat_map(|s| s.buckets.iter()).collect();
+        tiers.sort_by_key(|mb| mb.bucket);
+        for mb in tiers {
+            self.match_stats.merge(&mb.pool.stats());
+            self.wait_stats.merge(mb.pool.wait_stats());
+        }
         campaign.close(&[
             ("live_sessions", self.live_sessions.into()),
             ("solo_sessions", self.solo_sessions.into()),
@@ -455,10 +542,10 @@ impl<D: ShardGame> ShardedCampaign<D> {
                 player_count: players,
             },
             precision: self.driver.precision(&self.platform),
-            matchmaker: self.platform.matchmaker().stats(),
+            matchmaker: self.match_stats,
             live_sessions: self.live_sessions,
             solo_sessions: self.solo_sessions,
-            mean_wait_secs: self.platform.matchmaker().wait_stats().mean(),
+            mean_wait_secs: self.wait_stats.mean(),
         }
     }
 
@@ -514,40 +601,49 @@ impl<D: ShardGame> ShardedCampaign<D> {
         SimDuration::from_secs_f64(gap)
     }
 
-    /// Hub-side: an arrival pairs, queues, or is dropped past horizon.
-    fn on_arrived(&mut self, at: SimTime, profile: PlayerProfile, mail: &mut Mailbox<CampaignMsg>) {
-        if at > self.config.horizon {
-            return; // no new sessions past the horizon
-        }
-        let p = profile.id;
+    /// Hub-side: a bucket pool paired two players; plan and dispatch
+    /// the session. The hub also owns the pairing telemetry — bucket
+    /// pools are shard-reachable and must stay silent, so the events
+    /// the serial matchmaker would emit are re-emitted here.
+    fn on_paired(
+        &mut self,
+        at: SimTime,
+        waiter: PlayerProfile,
+        arriver: PlayerProfile,
+        waited: SimDuration,
+        mail: &mut Mailbox<CampaignMsg>,
+    ) {
         self.platform.set_time(at);
-        match self
-            .platform
-            .matchmaker_mut()
-            .on_arrival(at, p, &mut self.match_rng)
-        {
-            MatchDecision::Paired { partner, .. } => {
-                let partner_profile = self.waiting.take(partner.raw()).expect("waiting partner"); // hc-analyze: allow(P1): queued players always parked their profile
-                let sid = self.session_ids.next();
-                let rounds =
-                    self.driver
-                        .plan_live(&mut self.platform, [partner, p], &mut self.plan_rng);
-                self.dispatch(
-                    mail,
-                    SessionJob {
-                        sid,
-                        start: at,
-                        seats: [partner, p],
-                        solo: false,
-                        profiles: vec![partner_profile, profile],
-                        rounds,
-                    },
-                );
-            }
-            MatchDecision::Queued => {
-                self.waiting.insert(p.raw(), profile);
-            }
+        let seats = [waiter.id, arriver.id];
+        if hc_obs::active() {
+            hc_obs::counter("core.pairs_live", at.ticks(), 1);
+            hc_obs::observe("core.pair_wait_secs", at.ticks(), waited.as_secs_f64());
+            hc_obs::event(
+                "core",
+                "pair",
+                at.ticks(),
+                &[
+                    ("player", u64::from(arriver.id).into()),
+                    ("partner", u64::from(waiter.id).into()),
+                    ("waited_us", waited.ticks().into()),
+                ],
+            );
         }
+        let sid = self.session_ids.next();
+        let rounds = self
+            .driver
+            .plan_live(&mut self.platform, seats, &mut self.plan_rng);
+        self.dispatch(
+            mail,
+            SessionJob {
+                sid,
+                start: at,
+                seats,
+                solo: false,
+                profiles: vec![waiter, arriver],
+                rounds,
+            },
+        );
     }
 
     /// Hub-side: sends a planned session to the shard keyed by its id.
@@ -602,41 +698,53 @@ impl<D: ShardGame> ShardedCampaign<D> {
         }
     }
 
-    /// Hub-side: rescue timed-out waiters (solo session or give-up).
-    fn sweep(&mut self, now: SimTime, mail: &mut Mailbox<CampaignMsg>) {
-        self.platform.set_time(now);
-        for p in self.platform.matchmaker_mut().take_timed_out(now) {
-            let profile = self.waiting.take(p.raw()).expect("waiting profile"); // hc-analyze: allow(P1): queued players always parked their profile
-            match self
-                .driver
-                .plan_solo(&mut self.platform, p, &mut self.plan_rng)
-            {
-                Some(rounds) => {
-                    let sid = self.session_ids.next();
-                    self.dispatch(
-                        mail,
-                        SessionJob {
-                            sid,
-                            start: now,
-                            seats: [p, p],
-                            solo: true,
-                            profiles: vec![profile],
-                            rounds,
-                        },
+    /// Hub-side: rescue one timed-out waiter (solo session or give-up).
+    fn on_timed_out(
+        &mut self,
+        at: SimTime,
+        profile: PlayerProfile,
+        mail: &mut Mailbox<CampaignMsg>,
+    ) {
+        self.platform.set_time(at);
+        let p = profile.id;
+        match self
+            .driver
+            .plan_solo(&mut self.platform, p, &mut self.plan_rng)
+        {
+            Some(rounds) => {
+                if hc_obs::active() {
+                    hc_obs::counter("core.pairs_replay", at.ticks(), 1);
+                    hc_obs::event(
+                        "core",
+                        "replay_fallback",
+                        at.ticks(),
+                        &[("player", u64::from(p).into())],
                     );
                 }
-                None => {
-                    // No solo mode: give up and return at a later sitting.
-                    mail.send(
-                        Addr::Shard(self.home(p)),
-                        now,
-                        player_key(TAG_RETURN, now, p),
-                        CampaignMsg::Return {
-                            profile: Box::new(profile),
-                            played: None,
-                        },
-                    );
-                }
+                let sid = self.session_ids.next();
+                self.dispatch(
+                    mail,
+                    SessionJob {
+                        sid,
+                        start: at,
+                        seats: [p, p],
+                        solo: true,
+                        profiles: vec![profile],
+                        rounds,
+                    },
+                );
+            }
+            None => {
+                // No solo mode: give up and return at a later sitting.
+                mail.send(
+                    Addr::Shard(self.home(p)),
+                    at,
+                    player_key(TAG_RETURN, at, p),
+                    CampaignMsg::Return {
+                        profile: Box::new(profile),
+                        played: None,
+                    },
+                );
             }
         }
     }
@@ -654,6 +762,7 @@ impl<D: ShardGame> ShardWorkload for ShardedCampaign<D> {
         inbox: Vec<(SimTime, CampaignMsg)>,
         mail: &mut Mailbox<CampaignMsg>,
     ) -> Option<SimTime> {
+        let k = self.config.shards;
         for (at, msg) in inbox {
             match msg {
                 CampaignMsg::Play(job) => {
@@ -690,13 +799,45 @@ impl<D: ShardGame> ShardWorkload for ShardedCampaign<D> {
                 CampaignMsg::Return { profile, played } => {
                     self.receive_return(state, at, *profile, played);
                 }
-                CampaignMsg::Arrived { .. } | CampaignMsg::Done { .. } => {
+                CampaignMsg::Arrived { profile } => {
+                    // This shard owns the arriver's skill bucket: pair
+                    // against the tier pool or park the profile.
+                    let profile = *profile;
+                    let b = self.layout.bucket_of(profile.skill);
+                    let mb = &mut state.buckets[b as usize / k]; // hc-analyze: allow(P1): bucket b is hosted at index b/K on shard b%K by construction
+                    debug_assert_eq!(mb.bucket, b, "arrival routed to the wrong bucket host");
+                    let mut rng = self
+                        .factory
+                        .indexed_stream("shard.match", (u64::from(b) << 40) | mb.draws);
+                    mb.draws += 1;
+                    match mb.pool.on_arrival(at, profile.id, &mut rng) {
+                        MatchDecision::Paired { partner, waited } => {
+                            let waiter = mb.parked.remove(&partner.raw()).expect("parked waiter"); // hc-analyze: allow(P1): queued players always park their profile
+                            mail.send(
+                                Addr::Hub,
+                                at,
+                                player_key(TAG_PAIRED, at, profile.id),
+                                CampaignMsg::Paired {
+                                    waiter: Box::new(waiter),
+                                    arriver: Box::new(profile),
+                                    waited,
+                                },
+                            );
+                        }
+                        MatchDecision::Queued => {
+                            mb.parked.insert(profile.id.raw(), profile);
+                        }
+                    }
+                }
+                CampaignMsg::Paired { .. }
+                | CampaignMsg::TimedOut { .. }
+                | CampaignMsg::Done { .. } => {
                     debug_assert!(false, "hub-bound message delivered to a shard");
                 }
             }
         }
         // Emit this window's arrivals (including any scheduled by the
-        // returns above) to the hub.
+        // returns above) to their bucket-owning shards.
         while let Some((t, p)) = state.calendar.pop_before(win.last_tick()) {
             let plan = state.plans.get_mut(p.raw()).expect("planned player"); // hc-analyze: allow(P1): every player gets a plan at construction
             if plan.remaining.is_zero() {
@@ -711,8 +852,9 @@ impl<D: ShardGame> ShardWorkload for ShardedCampaign<D> {
                 debug_assert!(false, "arrival for a player who is not home");
                 continue;
             };
+            let dest = (self.layout.bucket_of(profile.skill) as usize) % k;
             mail.send(
-                Addr::Hub,
+                Addr::Shard(dest),
                 t,
                 player_key(TAG_ARRIVED, t, p),
                 CampaignMsg::Arrived {
@@ -720,7 +862,53 @@ impl<D: ShardGame> ShardWorkload for ShardedCampaign<D> {
                 },
             );
         }
-        state.calendar.peek_time()
+        // Sweep the owned tier pools. Within the horizon, expired
+        // waiters spill to the hub for replay rescue; past it nobody
+        // new arrives, so any stragglers abandon. Sweeps in windows
+        // before a pool's deadline are no-ops, which is what makes
+        // timeout timing independent of co-scheduled shard work.
+        let sweep_at = win.last_tick();
+        if sweep_at <= self.config.horizon {
+            for mb in &mut state.buckets {
+                state.sweep_scratch.clear();
+                if mb
+                    .pool
+                    .take_timed_out_into(sweep_at, &mut state.sweep_scratch)
+                    == 0
+                {
+                    continue;
+                }
+                for &p in &state.sweep_scratch {
+                    let profile = mb.parked.remove(&p.raw()).expect("parked waiter"); // hc-analyze: allow(P1): queued players always park their profile
+                    mail.send(
+                        Addr::Hub,
+                        sweep_at,
+                        player_key(TAG_TIMEOUT, sweep_at, p),
+                        CampaignMsg::TimedOut {
+                            profile: Box::new(profile),
+                        },
+                    );
+                }
+            }
+        } else {
+            for mb in &mut state.buckets {
+                state.sweep_scratch.clear();
+                mb.pool.abandon_all_into(&mut state.sweep_scratch);
+                for &p in &state.sweep_scratch {
+                    mb.parked.remove(&p.raw());
+                }
+            }
+        }
+        // Wake at the next calendar arrival or the earliest tier-pool
+        // deadline, whichever comes first: the deadline wake is what
+        // guarantees every pool's timeout window is actually stepped.
+        let mut wake = state.calendar.peek_time();
+        for mb in &state.buckets {
+            if let Some(d) = mb.pool.next_deadline() {
+                wake = Some(wake.map_or(d, |w| w.min(d)));
+            }
+        }
+        wake
     }
 
     fn hub_step(
@@ -729,31 +917,43 @@ impl<D: ShardGame> ShardWorkload for ShardedCampaign<D> {
         inbox: Vec<(SimTime, CampaignMsg)>,
         mail: &mut Mailbox<CampaignMsg>,
     ) -> HubDecision {
-        // Canonical key order: all Dones (sid order) land before all
-        // Arriveds (time, player order) — outcomes apply before new
-        // sessions are planned in the same window.
+        // Canonical key order: all Dones (sid order) land first, then
+        // Paireds ((time, arriver) order), then TimedOuts ((time,
+        // player) order) — outcomes apply before new sessions are
+        // planned, and pairing consumes the plan stream before replay
+        // fallback, identically in every layout.
+        let processed = inbox.len() as u64;
         for (at, msg) in inbox {
             match msg {
                 CampaignMsg::Done { solo, outcome } => self.apply_done(solo, *outcome),
-                CampaignMsg::Arrived { profile } => self.on_arrived(at, *profile, mail),
-                CampaignMsg::Play(_) | CampaignMsg::Return { .. } => {
+                CampaignMsg::Paired {
+                    waiter,
+                    arriver,
+                    waited,
+                } => self.on_paired(at, *waiter, *arriver, waited, mail),
+                CampaignMsg::TimedOut { profile } => self.on_timed_out(at, *profile, mail),
+                CampaignMsg::Play(_) | CampaignMsg::Return { .. } | CampaignMsg::Arrived { .. } => {
                     debug_assert!(false, "shard-bound message delivered to the hub");
                 }
             }
         }
-        let sweep_at = win.last_tick();
-        if sweep_at <= self.config.horizon {
-            self.sweep(sweep_at, mail);
-        } else if !self.waiting.is_empty() {
-            // Past the horizon nobody new arrives: waiters abandon.
-            let stranded: Vec<u64> = self.waiting.ids().collect();
-            for p in stranded {
-                self.waiting.take(p);
-                self.platform.matchmaker_mut().abandon(PlayerId::new(p));
-            }
+        if processed > 0 && hc_obs::active() {
+            // Deterministic hub work proxy: one simulated microsecond
+            // per message processed. Sim-time trace tooling attributes
+            // serial-hub load from this span; it is layout-invariant
+            // because the hub inbox is.
+            hc_obs::span(
+                "games",
+                "hub",
+                win.start.ticks(),
+                win.start.ticks() + processed,
+                &[("messages", processed.into())],
+            );
         }
-        let busy = self.in_flight > 0 || !self.waiting.is_empty();
-        HubDecision::running(busy.then_some(win.end))
+        // The hub never forces a wake: sessions in flight keep pending
+        // messages inside the engine, and every matchmaking deadline
+        // lives on the shards now.
+        HubDecision::running(None)
     }
 }
 
@@ -869,24 +1069,34 @@ fn play_esp_live_planned(
     let mut session = Session::new(job.sid, [left, right], job.start, cfg);
     let mut now = job.start;
     let mut streaks = [0u32; 2];
-    let mut played = Vec::new();
+    // The hot loop: rounds are consumed by value so every taboo list
+    // moves straight into its round (no per-round clone), the output is
+    // pre-sized from the plan cardinality, and the recording trace is a
+    // reused scratch buffer.
+    let rounds = std::mem::take(&mut job.rounds);
+    let mut played = Vec::with_capacity(rounds.len());
+    let mut left_trace: Vec<(SimDuration, Label)> = Vec::new();
     let (pa, rest) = job.profiles.split_at_mut(1);
 
-    for planned in &job.rounds {
+    for planned in rounds {
         if !session.can_play_more(now) {
             break;
         }
-        let task = planned.task;
+        let PlannedRound { task, taboo, .. } = planned;
         let Some(truth) = world.truth_for_task(task) else {
             break;
         };
-        let taboo = &planned.taboo;
-        let mut round = OutputAgreementRound::new(task, taboo.clone(), cfg.round_time_limit);
+        let mut round = OutputAgreementRound::with_guess_capacity(
+            task,
+            taboo,
+            cfg.round_time_limit,
+            MAX_GUESSES_PER_SEAT,
+        );
         let deadline = now + cfg.round_time_limit;
         let mut profiles = [&mut pa[0], &mut rest[0]];
         let mut cursors = [now, now];
         let mut guesses_left = [MAX_GUESSES_PER_SEAT; 2];
-        let mut left_trace: Vec<(SimDuration, Label)> = Vec::new();
+        left_trace.clear();
         let mut matched_label: Option<Label> = None;
         let mut end = deadline;
 
@@ -901,9 +1111,10 @@ fn play_esp_live_planned(
                 continue;
             }
             let profile = &mut profiles[seat_idx];
-            let answer = profile
-                .behavior
-                .next_answer(truth, world.vocabulary(), taboo, rng);
+            let answer =
+                profile
+                    .behavior
+                    .next_answer(truth, world.vocabulary(), round.taboo(), rng);
             let latency = profile.response.sample(
                 match &answer {
                     Answer::Text(l) => Some(l),
@@ -949,11 +1160,11 @@ fn play_esp_live_planned(
         let result = round.finish(end);
         let matched = result.is_match();
         let mut agreements = Vec::new();
-        if let Some(label) = matched_label.or(result.agreed_label.clone()) {
+        if let Some(label) = matched_label.or(result.agreed_label) {
             agreements.push((label, left, right));
         }
-        let recording =
-            (!left_trace.is_empty()).then(|| RecordedRound::new(task, left, left_trace));
+        let recording = (!left_trace.is_empty())
+            .then(|| RecordedRound::new(task, left, std::mem::take(&mut left_trace)));
         let duration = end.saturating_since(now);
         let points = [
             rule.round_score(matched, duration.as_secs_f64(), streaks[0]),
@@ -996,35 +1207,42 @@ fn play_esp_solo_planned(
     let mut session = Session::new(job.sid, [player, player], job.start, cfg);
     let mut now = job.start;
     let mut streak = 0u32;
-    let mut played = Vec::new();
+    // Consumed by value: the taboo list moves into the round and the
+    // seeded recording's labels move into the bot event feed — the
+    // only per-round label clones left are the human's own trace.
+    let rounds = std::mem::take(&mut job.rounds);
+    let mut played = Vec::with_capacity(rounds.len());
+    let mut trace: Vec<(SimDuration, Label)> = Vec::new();
     let profile = &mut job.profiles[0];
 
-    for planned in &job.rounds {
+    for planned in rounds {
         if !session.can_play_more(now) {
             break;
         }
-        let task = planned.task;
+        let PlannedRound {
+            task,
+            taboo,
+            recording: seeded,
+        } = planned;
         let Some(truth) = world.truth_for_task(task) else {
             break;
         };
-        let taboo = &planned.taboo;
-        let mut round = OutputAgreementRound::new(task, taboo.clone(), cfg.round_time_limit);
+        let recorded_player = seeded.as_ref().map(|r| r.recorded_player);
+        let mut round = OutputAgreementRound::with_guess_capacity(
+            task,
+            taboo,
+            cfg.round_time_limit,
+            MAX_GUESSES_PER_SEAT,
+        );
         let deadline = now + cfg.round_time_limit;
-        let mut bot_events: Vec<(SimTime, Label)> = planned
-            .recording
-            .as_ref()
-            .map(|r| {
-                r.events
-                    .iter()
-                    .map(|(d, l)| (now + *d, l.clone()))
-                    .collect()
-            })
+        let mut bot_events: Vec<(SimTime, Label)> = seeded
+            .map(|r| r.events.into_iter().map(|(d, l)| (now + d, l)).collect())
             .unwrap_or_default();
         bot_events.reverse(); // pop() from the back = chronological order
 
         let mut cursor = now;
         let mut guesses_left = MAX_GUESSES_PER_SEAT;
-        let mut trace: Vec<(SimDuration, Label)> = Vec::new();
+        trace.clear();
         let mut matched_label: Option<Label> = None;
         let mut end = deadline;
 
@@ -1035,9 +1253,10 @@ fn play_esp_solo_planned(
                 break;
             }
             let (seat, at, answer) = if human_turn {
-                let answer = profile
-                    .behavior
-                    .next_answer(truth, world.vocabulary(), taboo, rng);
+                let answer =
+                    profile
+                        .behavior
+                        .next_answer(truth, world.vocabulary(), round.taboo(), rng);
                 let latency = profile.response.sample(
                     match &answer {
                         Answer::Text(l) => Some(l),
@@ -1082,13 +1301,13 @@ fn play_esp_solo_planned(
         let result = round.finish(end);
         let matched = result.is_match();
         let mut agreements = Vec::new();
-        if let (Some(label), Some(rec)) = (
-            matched_label.or(result.agreed_label.clone()),
-            planned.recording.as_ref(),
-        ) {
-            agreements.push((label, player, rec.recorded_player));
+        if let (Some(label), Some(rec_player)) =
+            (matched_label.or(result.agreed_label), recorded_player)
+        {
+            agreements.push((label, player, rec_player));
         }
-        let recording = (!trace.is_empty()).then(|| RecordedRound::new(task, player, trace));
+        let recording = (!trace.is_empty())
+            .then(|| RecordedRound::new(task, player, std::mem::take(&mut trace)));
         let duration = end.saturating_since(now);
         let points = rule.round_score(matched, duration.as_secs_f64(), streak);
         streak = if matched { streak + 1 } else { 0 };
@@ -1200,7 +1419,8 @@ fn play_verbosity_planned(
     let mut session = Session::new(job.sid, [narrator, guesser], job.start, cfg);
     let mut now = job.start;
     let mut streaks = [0u32; 2];
-    let mut played = Vec::new();
+    let mut played = Vec::with_capacity(job.rounds.len());
+    let empty_taboo = TabooList::new();
 
     for planned in &job.rounds {
         if !session.can_play_more(now) {
@@ -1213,9 +1433,8 @@ fn play_verbosity_planned(
         ) else {
             break;
         };
-        let mut round = InversionRound::new(task, secret.clone(), cfg.round_time_limit);
+        let mut round = InversionRound::new(task, secret, cfg.round_time_limit);
         let deadline = now + cfg.round_time_limit;
-        let empty_taboo = TabooList::new();
         let mut cursor = now;
         let mut hints_sent = 0usize;
         let mut end = deadline;

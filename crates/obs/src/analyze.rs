@@ -297,6 +297,30 @@ pub fn critical_path_attribution(tree: &SpanTree, cp: &CriticalPath) -> Vec<(Str
     out
 }
 
+/// The critical-path steps with the largest self times, rank order
+/// (ties break to the shallower step).
+fn hottest_steps(cp: &CriticalPath, top: usize) -> Vec<&CpStep> {
+    let mut steps: Vec<&CpStep> = cp.steps.iter().collect();
+    steps.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.depth.cmp(&b.depth)));
+    steps.truncate(top);
+    steps
+}
+
+fn render_attribution(tree: &SpanTree, cp: &CriticalPath, out: &mut String) {
+    out.push_str("attribution by target:\n");
+    for (target, self_us) in critical_path_attribution(tree, cp) {
+        let share = if cp.total_us == 0 {
+            0.0
+        } else {
+            self_us as f64 / cp.total_us as f64 * 100.0
+        };
+        out.push_str(&format!(
+            "{:<24} {:>14} us {:>6.1}%\n",
+            target, self_us, share
+        ));
+    }
+}
+
 /// Renders the critical path as a fixed-width text report.
 #[must_use]
 pub fn render_critical_path(tree: &SpanTree) -> String {
@@ -325,18 +349,101 @@ pub fn render_critical_path(tree: &SpanTree) -> String {
             step.self_us
         ));
     }
-    out.push_str("attribution by target:\n");
-    for (target, self_us) in critical_path_attribution(tree, &cp) {
+    render_attribution(tree, &cp, &mut out);
+    out
+}
+
+/// Like [`render_critical_path`], but lists only the `top` hottest
+/// steps by self time (with their share of the path total) — the
+/// skimmable view of paths thousands of windows deep.
+#[must_use]
+pub fn render_critical_path_top(tree: &SpanTree, top: usize) -> String {
+    let mut out = String::new();
+    let Some(cp) = critical_path(tree) else {
+        out.push_str("critical path: no spans in trace\n");
+        return out;
+    };
+    let hottest = hottest_steps(&cp, top);
+    out.push_str(&format!(
+        "critical path: {} us across {} spans; top {} frames by self time\n",
+        cp.total_us,
+        cp.steps.len(),
+        hottest.len()
+    ));
+    out.push_str(&format!(
+        "{:<6} {:<36} {:>14} {:>14} {:>7}\n",
+        "depth", "span", "dur_us", "self_us", "share%"
+    ));
+    for step in hottest {
+        let span = &tree.spans[step.span];
         let share = if cp.total_us == 0 {
             0.0
         } else {
-            self_us as f64 / cp.total_us as f64 * 100.0
+            step.self_us as f64 / cp.total_us as f64 * 100.0
         };
         out.push_str(&format!(
-            "{:<24} {:>14} us {:>6.1}%\n",
-            target, self_us, share
+            "{:<6} {:<36} {:>14} {:>14} {:>7.1}\n",
+            step.depth,
+            span.frame(),
+            span.dur_us,
+            step.self_us,
+            share
         ));
     }
+    render_attribution(tree, &cp, &mut out);
+    out
+}
+
+/// Renders the critical path as one deterministic JSON object
+/// (`schema: hc-trace-critical-path-v1`). With `top`, only the hottest
+/// steps by self time are listed (rank order); the attribution section
+/// always covers the whole path. A span-free trace yields an empty
+/// document rather than an error, so pipelines can probe traces.
+#[must_use]
+pub fn critical_path_json(tree: &SpanTree, top: Option<usize>) -> String {
+    let mut total_us = 0u64;
+    let mut path_spans = 0u64;
+    let mut steps = Vec::new();
+    let mut attribution = Vec::new();
+    if let Some(cp) = critical_path(tree) {
+        total_us = cp.total_us;
+        path_spans = cp.steps.len() as u64;
+        let selected: Vec<&CpStep> = match top {
+            Some(n) => hottest_steps(&cp, n),
+            None => cp.steps.iter().collect(),
+        };
+        for step in selected {
+            let span = &tree.spans[step.span];
+            steps.push(obj(vec![
+                ("depth", u(step.depth as u64)),
+                ("frame", s(&span.frame())),
+                ("start_us", u(span.start_us)),
+                ("dur_us", u(span.dur_us)),
+                ("self_us", u(step.self_us)),
+            ]));
+        }
+        for (target, self_us) in critical_path_attribution(tree, &cp) {
+            let share = if cp.total_us == 0 {
+                0.0
+            } else {
+                self_us as f64 / cp.total_us as f64
+            };
+            attribution.push(obj(vec![
+                ("target", s(&target)),
+                ("self_us", u(self_us)),
+                ("share", f(share)),
+            ]));
+        }
+    }
+    let doc = obj(vec![
+        ("schema", s("hc-trace-critical-path-v1")),
+        ("total_us", u(total_us)),
+        ("path_spans", u(path_spans)),
+        ("steps", Value::Array(steps)),
+        ("attribution", Value::Array(attribution)),
+    ]);
+    let mut out = doc.to_string();
+    out.push('\n');
     out
 }
 
@@ -1227,6 +1334,61 @@ mod tests {
         assert_eq!(attr[0].0, "demo");
         // 40 (run) + 20 (phase) + 30 (work).
         assert_eq!(attr[0].1, 90);
+    }
+
+    #[test]
+    fn critical_path_top_ranks_steps_by_self_time() {
+        let trace = demo_trace();
+        let tree = SpanTree::from_records(&trace.records);
+        let text = render_critical_path_top(&tree, 2);
+        assert!(text.contains("top 2 frames by self time"));
+        // Self times on the path: run 40, work 30, phase 20 — the
+        // truncated listing keeps run and work, drops phase.
+        let run_pos = text.find("demo/run").expect("run listed");
+        let work_pos = text.find("demo/work").expect("work listed");
+        assert!(run_pos < work_pos);
+        // phase only survives in the attribution section's target total.
+        assert!(!text.contains("demo/phase"));
+        // Asking for more frames than the path has lists them all.
+        let full = render_critical_path_top(&tree, 10);
+        assert!(full.contains("top 3 frames by self time"));
+    }
+
+    #[test]
+    fn critical_path_json_is_deterministic_and_truncatable() {
+        let trace = demo_trace();
+        let tree = SpanTree::from_records(&trace.records);
+        let doc = critical_path_json(&tree, None);
+        assert!(doc.contains("\"hc-trace-critical-path-v1\""));
+        assert!(doc.ends_with('\n'));
+        let parsed: Value = serde_json::from_str(&doc).expect("valid JSON");
+        let field = |v: &Value, k: &str| v.get(k).cloned().expect("field");
+        let item = |v: &Value, k: &str, i: usize| v.get(k).unwrap().as_array().unwrap()[i].clone();
+        assert_eq!(field(&parsed, "total_us").as_u64(), Some(100));
+        assert_eq!(field(&parsed, "path_spans").as_u64(), Some(3));
+        assert_eq!(field(&parsed, "steps").as_array().map(Vec::len), Some(3));
+        // Untruncated steps keep path (depth) order, not rank order.
+        let first = item(&parsed, "steps", 0);
+        assert_eq!(field(&first, "frame").as_str(), Some("demo/run"));
+        assert_eq!(field(&first, "self_us").as_u64(), Some(40));
+        let attr = item(&parsed, "attribution", 0);
+        assert_eq!(field(&attr, "target").as_str(), Some("demo"));
+        assert_eq!(field(&attr, "self_us").as_u64(), Some(90));
+        assert_eq!(field(&attr, "share").as_f64(), Some(0.9));
+        // Truncation ranks by self time: run (40) then work (30).
+        let top: Value =
+            serde_json::from_str(&critical_path_json(&tree, Some(2))).expect("valid JSON");
+        assert_eq!(field(&top, "steps").as_array().map(Vec::len), Some(2));
+        let second = item(&top, "steps", 1);
+        assert_eq!(field(&second, "frame").as_str(), Some("demo/work"));
+        // path_spans still reports the full path length.
+        assert_eq!(field(&top, "path_spans").as_u64(), Some(3));
+        // An empty tree degrades to an empty document, exit 0.
+        let empty = SpanTree::from_records(&[]);
+        let doc: Value =
+            serde_json::from_str(&critical_path_json(&empty, None)).expect("valid JSON");
+        assert_eq!(field(&doc, "total_us").as_u64(), Some(0));
+        assert_eq!(field(&doc, "steps").as_array().map(Vec::len), Some(0));
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod timeseries;
+pub mod wheel;
 
 pub use arrival::{ArrivalProcess, DiurnalProcess, PoissonProcess};
 pub use dist::{Bernoulli, DiscreteDist, Exponential, Geometric, LogNormal, UniformRange, Zipf};
@@ -85,6 +86,7 @@ pub use shard::{
 pub use stats::{ConfidenceInterval, Histogram, OnlineStats, SampleSet};
 pub use time::{SimDuration, SimTime};
 pub use timeseries::{GaugeSeries, RateSeries};
+pub use wheel::WheelQueue;
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
@@ -104,5 +106,6 @@ pub mod prelude {
     pub use crate::stats::{ConfidenceInterval, Histogram, OnlineStats, SampleSet};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::timeseries::{GaugeSeries, RateSeries};
+    pub use crate::wheel::WheelQueue;
     pub use rand::Rng;
 }

@@ -1,13 +1,13 @@
 //! A minimal simulation driver.
 //!
-//! [`Simulation`] owns the clock and an [`EventQueue`], and hands each event
+//! [`Simulation`] owns the clock and a [`WheelQueue`], and hands each event
 //! to a caller-supplied handler which may schedule further events. This is
 //! the conventional DES main loop, factored out so every experiment binary
 //! does not re-implement (and subtly diverge on) horizon handling and event
 //! budgets.
 
-use crate::event::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::WheelQueue;
 
 /// Why a [`Simulation::run`] call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +40,7 @@ pub enum StepOutcome {
 /// ```
 #[derive(Debug)]
 pub struct Simulation<E> {
-    queue: EventQueue<E>,
+    queue: WheelQueue<E>,
     now: SimTime,
     event_budget: u64,
 }
@@ -64,7 +64,7 @@ impl<E> Simulation<E> {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         Simulation {
-            queue: EventQueue::with_capacity(capacity),
+            queue: WheelQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             event_budget: 1_000_000_000,
         }

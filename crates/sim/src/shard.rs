@@ -114,13 +114,16 @@ pub struct Mailbox<M> {
 }
 
 impl<M> Mailbox<M> {
-    fn new(origin: u32, window: u64, window_ticks: u64) -> Self {
+    /// `capacity` is a pre-sizing hint only (typically derived from the
+    /// step's inbox or the previous window's traffic) — capacity is
+    /// never observable, so it cannot affect determinism.
+    fn new(origin: u32, window: u64, window_ticks: u64, capacity: usize) -> Self {
         Mailbox {
             origin,
             window,
             window_ticks,
             seq: 0,
-            out: Vec::new(),
+            out: Vec::with_capacity(capacity),
         }
     }
 
@@ -371,7 +374,9 @@ fn guarded_step<W: ShardWorkload>(
     window_ticks: u64,
 ) -> Result<StepOutput<W::Msg>, String> {
     #[allow(clippy::cast_possible_truncation)] // shard counts are small
-    let mut mail = Mailbox::new(shard as u32, win.index, window_ticks);
+    // Steps mostly answer their inbox one-for-one (plus a bounded fan
+    // of returns), so twice the inbox is a good steady-state fit.
+    let mut mail = Mailbox::new(shard as u32, win.index, window_ticks, inbox.len() * 2);
     catch_unwind(AssertUnwindSafe(|| {
         workload.shard_step(shard, state, win, inbox, &mut mail)
     }))
@@ -606,7 +611,7 @@ where
         // Hub phase (serial, calling thread).
         canonicalize(&mut hub_in);
         let hub_inbox: Vec<(SimTime, W::Msg)> = hub_in.into_iter().map(|e| (e.at, e.msg)).collect();
-        let mut hub_mail = Mailbox::new(SRC_HUB, wi, window_ticks);
+        let mut hub_mail = Mailbox::new(SRC_HUB, wi, window_ticks, hub_inbox.len());
         let decision = workload.hub_step(&win, hub_inbox, &mut hub_mail);
         let hub_sent = hub_mail.len() as u64;
         stats.messages += hub_sent;
